@@ -1,0 +1,153 @@
+package scalarfield
+
+// Benchmarks for the extension modules beyond the paper's evaluation
+// tables: nucleus decomposition, contour spectrum, split tree,
+// interchange formats, and the added centralities. These serve as the
+// ablation record for the extension design choices in DESIGN.md §4.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/contour"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/measures"
+	"repro/internal/nucleus"
+)
+
+func BenchmarkNucleusDecompose12(b *testing.B) {
+	g := benchGraph(b, "GrQc")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := nucleus.Decompose(g, 1, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNucleusDecompose23(b *testing.B) {
+	g := benchGraph(b, "GrQc")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := nucleus.Decompose(g, 2, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNucleusDecompose34(b *testing.B) {
+	g := benchGraph(b, "GrQc")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := nucleus.Decompose(g, 3, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNucleusForest(b *testing.B) {
+	g := benchGraph(b, "GrQc")
+	d, err := nucleus.Decompose(g, 2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Forest()
+	}
+}
+
+func BenchmarkContourSpectrum(b *testing.B) {
+	g := benchGraph(b, "Astro")
+	st := core.VertexSuperTree(core.MustVertexField(g, measures.CoreNumbersFloat(g)))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		contour.NewSpectrum(st)
+	}
+}
+
+func BenchmarkSublevelTree(b *testing.B) {
+	g := benchGraph(b, "Astro")
+	kc := measures.CoreNumbersFloat(g)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := contour.NewSublevelTree(g, kc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteGraphML(b *testing.B) {
+	g := benchGraph(b, "GrQc")
+	vf := map[string][]float64{"kcore": measures.CoreNumbersFloat(g)}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := graph.WriteGraphML(&buf, g, vf, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphMLRoundTrip(b *testing.B) {
+	g := benchGraph(b, "GrQc")
+	vf := map[string][]float64{"kcore": measures.CoreNumbersFloat(g)}
+	var buf bytes.Buffer
+	if err := graph.WriteGraphML(&buf, g, vf, nil); err != nil {
+		b.Fatal(err)
+	}
+	doc := buf.Bytes()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := graph.ReadGraphML(bytes.NewReader(doc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJSONRoundTrip(b *testing.B) {
+	g := benchGraph(b, "GrQc")
+	vf := map[string][]float64{"kcore": measures.CoreNumbersFloat(g)}
+	var buf bytes.Buffer
+	if err := graph.WriteJSON(&buf, g, vf, nil); err != nil {
+		b.Fatal(err)
+	}
+	doc := buf.Bytes()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := graph.ReadJSON(bytes.NewReader(doc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEdgeBetweenness(b *testing.B) {
+	g := benchGraph(b, "GrQc")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		measures.EdgeBetweennessCentrality(g)
+	}
+}
+
+func BenchmarkKatzCentrality(b *testing.B) {
+	g := benchGraph(b, "Astro")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		measures.KatzCentrality(g, 0, 1e-10, 500)
+	}
+}
+
+func BenchmarkOnionLayers(b *testing.B) {
+	g := benchGraph(b, "GrQc")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		measures.OnionLayers(g)
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"image/color"
+	"path/filepath"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/measures"
+	"repro/internal/render"
+	"repro/internal/terrain"
+)
+
+func init() {
+	register("fig12", "Figures 12–13: the user study's visual stimuli (terrain, LaNet-vi, OpenOrd)", runFig12)
+}
+
+// runFig12 renders the nine single-field stimuli of Figure 12 (three
+// tools × GrQc/PPI/DBLP, k-core field) and the two dual-field stimuli
+// of Figure 13 (terrain and OpenOrd on Astro, betweenness height +
+// degree color).
+func runFig12(cfg config) error {
+	for _, name := range []string{"GrQc", "PPI", "DBLP"} {
+		g, err := datasets.Generate(name, cfg.scale, cfg.seed)
+		if err != nil {
+			return err
+		}
+		kc := measures.CoreNumbersFloat(g)
+		norm := terrain.Normalize(kc)
+
+		// Terrain stimulus.
+		st := core.VertexSuperTree(core.MustVertexField(g, kc))
+		if err := saveTerrain(cfg, st, nodeColorsByHeight(st), "fig12_"+name+"_terrain.png"); err != nil {
+			return err
+		}
+
+		// LaNet-vi stimulus.
+		pos, _ := baselines.LaNetVi(g, cfg.seed)
+		cols := make([]color.RGBA, g.NumVertices())
+		for v := range cols {
+			cols[v] = terrain.Colormap(norm[v])
+		}
+		img := baselines.DrawNodeLink(g, pos, cols, baselines.DrawOptions{Size: 720, NodeRadius: 2})
+		if err := render.WritePNG(filepath.Join(cfg.out, "fig12_"+name+"_lanetvi.png"), img); err != nil {
+			return err
+		}
+
+		// OpenOrd stimulus.
+		opos := baselines.OpenOrdLayout(g, baselines.OpenOrdOptions{Seed: cfg.seed})
+		img = baselines.DrawNodeLink(g, opos, cols, baselines.DrawOptions{Size: 720, NodeRadius: 2})
+		if err := render.WritePNG(filepath.Join(cfg.out, "fig12_"+name+"_openord.png"), img); err != nil {
+			return err
+		}
+		fmt.Printf("wrote fig12_%s_{terrain,lanetvi,openord}.png\n", name)
+	}
+
+	// Figure 13: Astro, betweenness height, degree color.
+	g, err := datasets.Generate("Astro", cfg.scale, cfg.seed)
+	if err != nil {
+		return err
+	}
+	btw := measures.ApproxBetweennessCentrality(g, min(g.NumVertices(), 512), cfg.seed)
+	deg := measures.DegreeCentrality(g)
+	st := core.VertexSuperTree(core.MustVertexField(g, btw))
+	if err := saveTerrain(cfg, st, nodeColorsByField(st, deg), "fig13_Astro_terrain.png"); err != nil {
+		return err
+	}
+	pos := baselines.OpenOrdLayout(g, baselines.OpenOrdOptions{Seed: cfg.seed})
+	normB := terrain.Normalize(btw)
+	cols := make([]color.RGBA, g.NumVertices())
+	for v := range cols {
+		cols[v] = terrain.Colormap(normB[v])
+	}
+	img := baselines.DrawNodeLink(g, pos, cols, baselines.DrawOptions{Size: 720, NodeRadius: 2})
+	if err := render.WritePNG(filepath.Join(cfg.out, "fig13_Astro_openord.png"), img); err != nil {
+		return err
+	}
+	fmt.Println("wrote fig13_Astro_{terrain,openord}.png")
+	return nil
+}

@@ -1,0 +1,89 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section against the synthetic dataset stand-ins.
+//
+// Usage:
+//
+//	experiments -exp table2 -scale 0.05 -out out/
+//	experiments -exp all
+//
+// Each experiment prints rows shaped like the paper's tables (so the
+// qualitative comparison is immediate) and, where the original is a
+// figure, writes PNG/SVG artifacts into -out. Absolute numbers differ
+// from the paper — the datasets are synthetic stand-ins and the
+// hardware differs — but the shape (who wins, by what factor, where
+// the structure lies) is the reproduction target; see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(cfg config) error
+	// optIn experiments (long sweeps) run only when named explicitly,
+	// never under -exp all.
+	optIn bool
+}
+
+type config struct {
+	scale float64
+	out   string
+	seed  int64
+}
+
+var registry []experiment
+
+func register(name, desc string, run func(cfg config) error) {
+	registry = append(registry, experiment{name: name, desc: desc, run: run})
+}
+
+func registerOptIn(name, desc string, run func(cfg config) error) {
+	registry = append(registry, experiment{name: name, desc: desc, run: run, optIn: true})
+}
+
+func main() {
+	var (
+		expName = flag.String("exp", "all", "experiment to run (or 'all', 'list')")
+		scale   = flag.Float64("scale", 0.05, "dataset scale factor in (0,1]; 1 = published sizes")
+		out     = flag.String("out", "out", "output directory for rendered figures")
+		seed    = flag.Int64("seed", 42, "random seed for synthetic data")
+	)
+	flag.Parse()
+	sort.Slice(registry, func(i, j int) bool { return registry[i].name < registry[j].name })
+
+	if *expName == "list" {
+		for _, e := range registry {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	cfg := config{scale: *scale, out: *out, seed: *seed}
+	ran := false
+	for _, e := range registry {
+		if *expName != "all" && e.name != *expName {
+			continue
+		}
+		if *expName == "all" && e.optIn {
+			continue
+		}
+		ran = true
+		fmt.Printf("\n=== %s — %s ===\n", e.name, e.desc)
+		if err := e.run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -exp list)\n", *expName)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,423 @@
+// Command serve hosts the interactive terrain viewer: the paper's
+// Section II-E user interactions — rotate, zoom, simplification, peak
+// selection, and linked 2D displays — exposed over HTTP with no
+// dependencies beyond the standard library.
+//
+// Usage:
+//
+//	serve -dataset GrQc -measure kcore -addr :8080
+//	serve -input mygraph.txt -measure ktruss
+//
+// Then open http://localhost:8080/. The page renders the terrain and
+// offers:
+//
+//	rotate / zoom        re-render with new camera parameters
+//	treemap              the linked 2D view of Figure 5(a)
+//	click on treemap     select a peak; a spring-layout node-link view
+//	                     of the selected component appears beside it
+//	                     (the "Linked-2D-Displays callback")
+//	α slider             list maximal α-connected components
+//	spectrum             the contour spectrum B0(α) curve as JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"html/template"
+	"image/color"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+
+	scalarfield "repro"
+	"repro/internal/baselines"
+	"repro/internal/contour"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/measures"
+	"repro/internal/render"
+	"repro/internal/terrain"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:8080", "listen address")
+		input   = flag.String("input", "", "edge list file (SNAP format); mutually exclusive with -dataset")
+		dataset = flag.String("dataset", "GrQc", "synthetic Table I dataset name")
+		scale   = flag.Float64("scale", 0.1, "scale factor for -dataset")
+		seed    = flag.Int64("seed", 42, "generation seed")
+		measure = flag.String("measure", "kcore", "height measure: kcore|onion|degree|betweenness|closeness|harmonic|pagerank|triangles|ktruss|edgebetweenness")
+		colorBy = flag.String("color", "", "optional second vertex measure for terrain color")
+		bins    = flag.Int("bins", 0, "simplification bins (0 = exact)")
+	)
+	flag.Parse()
+	srv, err := newServer(*input, *dataset, *scale, *seed, *measure, *colorBy, *bins)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	log.Printf("terrain viewer on http://%s/ (%s, measure=%s, %d super nodes)",
+		*addr, srv.name, *measure, srv.terrain.Tree.Len())
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}
+
+// server holds the immutable analysis products; HTTP handlers only
+// read them, so no locking is needed.
+type server struct {
+	name     string
+	g        *graph.Graph
+	terrain  *scalarfield.Terrain
+	spectrum *contour.Spectrum
+	edges    bool // measure is edge-based
+}
+
+func newServer(input, dataset string, scale float64, seed int64, measure, colorBy string, bins int) (*server, error) {
+	var (
+		g    *graph.Graph
+		name string
+		err  error
+	)
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, _, err = graph.ReadEdgeList(f)
+		if err != nil {
+			return nil, err
+		}
+		name = input
+	} else {
+		g, err = datasets.Generate(dataset, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		name = dataset
+	}
+
+	values, edgeBased, err := computeMeasure(g, measure)
+	if err != nil {
+		return nil, err
+	}
+	opts := scalarfield.TerrainOptions{SimplifyBins: bins}
+	var t *scalarfield.Terrain
+	if edgeBased {
+		t, err = scalarfield.NewEdgeTerrain(g, values, opts)
+	} else {
+		t, err = scalarfield.NewVertexTerrain(g, values, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if colorBy != "" {
+		cv, cEdge, err := computeMeasure(g, colorBy)
+		if err != nil {
+			return nil, err
+		}
+		if cEdge != edgeBased {
+			return nil, fmt.Errorf("color measure %q and height measure %q disagree on vertex/edge basis", colorBy, measure)
+		}
+		if err := t.ColorByValues(cv); err != nil {
+			return nil, err
+		}
+	}
+	return &server{
+		name:     name,
+		g:        g,
+		terrain:  t,
+		spectrum: contour.NewSpectrum(t.Tree),
+		edges:    edgeBased,
+	}, nil
+}
+
+// computeMeasure evaluates a named scalar measure; the second result
+// reports whether it is edge-based.
+func computeMeasure(g *graph.Graph, name string) ([]float64, bool, error) {
+	switch name {
+	case "kcore":
+		return measures.CoreNumbersFloat(g), false, nil
+	case "onion":
+		return measures.OnionLayersFloat(g), false, nil
+	case "degree":
+		return measures.DegreeCentrality(g), false, nil
+	case "betweenness":
+		if g.NumVertices() > 4000 {
+			return measures.ApproxBetweennessCentrality(g, 512, 1), false, nil
+		}
+		return measures.BetweennessCentrality(g), false, nil
+	case "closeness":
+		return measures.ClosenessCentrality(g), false, nil
+	case "harmonic":
+		return measures.HarmonicCentrality(g), false, nil
+	case "pagerank":
+		return measures.PageRank(g, 0.85, 1e-10, 200), false, nil
+	case "triangles":
+		return measures.TriangleDensityField(g), false, nil
+	case "ktruss":
+		return measures.TrussNumbersFloat(g), true, nil
+	case "edgebetweenness":
+		return measures.EdgeBetweennessCentrality(g), true, nil
+	}
+	return nil, false, fmt.Errorf("unknown measure %q", name)
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/terrain.png", s.handleTerrain)
+	mux.HandleFunc("/treemap.png", s.handleTreemap)
+	mux.HandleFunc("/linked.png", s.handleLinked)
+	mux.HandleFunc("/peaks", s.handlePeaks)
+	mux.HandleFunc("/select", s.handleSelect)
+	mux.HandleFunc("/spectrum", s.handleSpectrum)
+	return mux
+}
+
+func (s *server) handleTerrain(w http.ResponseWriter, r *http.Request) {
+	opts := render.Options{
+		Angle:  floatParam(r, "angle", 0.6),
+		Zoom:   floatParam(r, "zoom", 1),
+		Width:  intParam(r, "w", 960),
+		Height: intParam(r, "h", 720),
+	}
+	img := s.terrain.Render(opts)
+	w.Header().Set("Content-Type", "image/png")
+	if err := render.EncodePNG(w, img); err != nil {
+		log.Printf("terrain.png: %v", err)
+	}
+}
+
+func (s *server) handleTreemap(w http.ResponseWriter, r *http.Request) {
+	size := intParam(r, "size", 480)
+	if size < 64 {
+		size = 64
+	}
+	if size > 1024 {
+		size = 1024
+	}
+	img := s.terrain.RenderTreemap(size)
+	w.Header().Set("Content-Type", "image/png")
+	if err := render.EncodePNG(w, img); err != nil {
+		log.Printf("treemap.png: %v", err)
+	}
+}
+
+// handleLinked renders the paper's linked 2D display: a spring layout
+// of the component selected by a click at layout coordinates (x,y).
+func (s *server) handleLinked(w http.ResponseWriter, r *http.Request) {
+	node, ok := s.nodeAt(r)
+	if !ok {
+		http.Error(w, "no node at the given point", http.StatusNotFound)
+		return
+	}
+	items := s.terrain.Tree.SubtreeItems(node)
+	vertices := s.itemVertices(items)
+	if len(vertices) > 3000 {
+		vertices = vertices[:3000] // keep the interactive path responsive
+	}
+	sub, origIDs := graph.InducedSubgraph(s.g, vertices)
+	pos := baselines.SpringLayout(sub, baselines.SpringOptions{Seed: 7, Iterations: 150})
+	colors := make([]color.RGBA, sub.NumVertices())
+	scalars := s.terrain.Tree.Scalar
+	lo, hi := scalars[0], scalars[0]
+	for _, v := range scalars {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	for v := range colors {
+		t := 0.5
+		if hi > lo {
+			t = (s.itemScalar(origIDs[v]) - lo) / (hi - lo)
+		}
+		colors[v] = terrain.Colormap(t)
+	}
+	img := baselines.DrawNodeLink(sub, pos, colors, baselines.DrawOptions{
+		Size: intParam(r, "size", 480),
+	})
+	w.Header().Set("Content-Type", "image/png")
+	if err := render.EncodePNG(w, img); err != nil {
+		log.Printf("linked.png: %v", err)
+	}
+}
+
+// itemVertices converts item IDs to vertex IDs: identity for vertex
+// fields, edge endpoints for edge fields.
+func (s *server) itemVertices(items []int32) []int32 {
+	if !s.edges {
+		return items
+	}
+	seen := map[int32]bool{}
+	var verts []int32
+	for _, e := range items {
+		ed := s.g.Edge(e)
+		for _, v := range []int32{ed.U, ed.V} {
+			if !seen[v] {
+				seen[v] = true
+				verts = append(verts, v)
+			}
+		}
+	}
+	return verts
+}
+
+// itemScalar returns the scalar of the super node owning the item; for
+// edge-based fields the item is a vertex of the linked view, so the
+// vertex inherits the max incident edge scalar.
+func (s *server) itemScalar(item int32) float64 {
+	tree := s.terrain.Tree
+	if !s.edges {
+		return tree.Scalar[tree.NodeOf[item]]
+	}
+	best := 0.0
+	for _, e := range s.g.IncidentEdges(item) {
+		if v := tree.Scalar[tree.NodeOf[e]]; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func (s *server) nodeAt(r *http.Request) (int32, bool) {
+	x := floatParam(r, "x", -1)
+	y := floatParam(r, "y", -1)
+	if x < 0 || x > 1 || y < 0 || y > 1 {
+		return 0, false
+	}
+	node := s.terrain.Layout.NodeAtPoint(x, y)
+	return node, node >= 0
+}
+
+func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	node, ok := s.nodeAt(r)
+	if !ok {
+		http.Error(w, "no node at the given point", http.StatusNotFound)
+		return
+	}
+	tree := s.terrain.Tree
+	items := tree.SubtreeItems(node)
+	resp := struct {
+		Node      int32   `json:"node"`
+		Scalar    float64 `json:"scalar"`
+		ItemCount int     `json:"itemCount"`
+		Items     []int32 `json:"items"`
+	}{Node: node, Scalar: tree.Scalar[node], ItemCount: len(items), Items: items}
+	if len(resp.Items) > 200 {
+		resp.Items = resp.Items[:200]
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handlePeaks(w http.ResponseWriter, r *http.Request) {
+	alpha := floatParam(r, "alpha", 0)
+	peaks := s.terrain.Peaks(alpha)
+	type peakJSON struct {
+		Node   int32   `json:"node"`
+		Height float64 `json:"height"`
+		Items  int     `json:"items"`
+	}
+	out := make([]peakJSON, len(peaks))
+	for i, p := range peaks {
+		out[i] = peakJSON{Node: p.Node, Height: p.Top, Items: p.Items}
+	}
+	writeJSON(w, struct {
+		Alpha float64    `json:"alpha"`
+		Peaks []peakJSON `json:"peaks"`
+	}{alpha, out})
+}
+
+func (s *server) handleSpectrum(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.spectrum)
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!doctype html>
+<title>scalarfield terrain — {{.Name}}</title>
+<style>
+body { font-family: sans-serif; margin: 1em; }
+.row { display: flex; gap: 1em; align-items: flex-start; }
+img { border: 1px solid #ccc; }
+#info { max-width: 28em; font-size: 0.9em; white-space: pre-wrap; }
+</style>
+<h1>{{.Name}} — {{.Nodes}} vertices, {{.Edges}} edges, {{.Super}} super nodes</h1>
+<p>
+angle <input id="angle" type="range" min="0" max="6.28" step="0.05" value="0.6">
+zoom <input id="zoom" type="range" min="0.5" max="6" step="0.1" value="1">
+α <input id="alpha" type="number" step="any" value="0" style="width:6em">
+<button onclick="loadPeaks()">peaks</button>
+<a href="/spectrum">spectrum</a>
+</p>
+<div class="row">
+  <img id="terrain" src="/terrain.png" width="640" height="480">
+  <img id="treemap" src="/treemap.png" width="360" height="360"
+       title="click to select a peak (linked 2D display)">
+  <img id="linked" width="360" height="360" alt="linked view">
+</div>
+<div id="info">click the treemap to inspect a component</div>
+<script>
+const angle = document.getElementById('angle'), zoom = document.getElementById('zoom');
+function refresh() {
+  document.getElementById('terrain').src =
+    '/terrain.png?angle=' + angle.value + '&zoom=' + zoom.value + '&t=' + Date.now();
+}
+angle.oninput = refresh; zoom.oninput = refresh;
+document.getElementById('treemap').onclick = async ev => {
+  const r = ev.target.getBoundingClientRect();
+  const x = (ev.clientX - r.left) / r.width, y = (ev.clientY - r.top) / r.height;
+  const resp = await fetch('/select?x=' + x + '&y=' + y);
+  document.getElementById('info').textContent = await resp.text();
+  document.getElementById('linked').src = '/linked.png?x=' + x + '&y=' + y + '&t=' + Date.now();
+};
+async function loadPeaks() {
+  const resp = await fetch('/peaks?alpha=' + document.getElementById('alpha').value);
+  document.getElementById('info').textContent = await resp.text();
+}
+</script>
+`))
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	err := indexTmpl.Execute(w, struct {
+		Name         string
+		Nodes, Edges int
+		Super        int
+	}{s.name, s.g.NumVertices(), s.g.NumEdges(), s.terrain.Tree.Len()})
+	if err != nil {
+		log.Printf("index: %v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+func floatParam(r *http.Request, name string, def float64) float64 {
+	if s := r.URL.Query().Get(name); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil {
+			return v
+		}
+	}
+	return def
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	if s := r.URL.Query().Get(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			return v
+		}
+	}
+	return def
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"image/png"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T, measure, colorBy string) *httptest.Server {
+	t.Helper()
+	srv, err := newServer("", "GrQc", 0.03, 42, measure, colorBy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestIndexServesHTML(t *testing.T) {
+	ts := testServer(t, "kcore", "degree")
+	resp := get(t, ts.URL+"/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("index content type %q", ct)
+	}
+}
+
+func TestIndexUnknownPath404(t *testing.T) {
+	ts := testServer(t, "kcore", "")
+	if resp := get(t, ts.URL+"/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestTerrainAndTreemapArePNG(t *testing.T) {
+	ts := testServer(t, "kcore", "")
+	for _, path := range []string{
+		"/terrain.png?angle=1.1&zoom=2&w=320&h=240",
+		"/treemap.png?size=200",
+	} {
+		resp := get(t, ts.URL+path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+		if _, err := png.Decode(resp.Body); err != nil {
+			t.Fatalf("%s is not a decodable PNG: %v", path, err)
+		}
+	}
+}
+
+func TestPeaksJSON(t *testing.T) {
+	ts := testServer(t, "kcore", "")
+	resp := get(t, ts.URL+"/peaks?alpha=2")
+	var out struct {
+		Alpha float64 `json:"alpha"`
+		Peaks []struct {
+			Node   int32   `json:"node"`
+			Height float64 `json:"height"`
+			Items  int     `json:"items"`
+		} `json:"peaks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Alpha != 2 {
+		t.Fatalf("alpha echoed as %g", out.Alpha)
+	}
+	if len(out.Peaks) == 0 {
+		t.Fatal("no peaks at α=2 on a GrQc-style graph")
+	}
+	for _, p := range out.Peaks {
+		if p.Height < 2 || p.Items < 1 {
+			t.Fatalf("implausible peak %+v", p)
+		}
+	}
+}
+
+func TestSelectAndLinkedView(t *testing.T) {
+	ts := testServer(t, "kcore", "")
+	resp := get(t, ts.URL+"/select?x=0.5&y=0.5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("select status %d", resp.StatusCode)
+	}
+	var sel struct {
+		Node      int32   `json:"node"`
+		Scalar    float64 `json:"scalar"`
+		ItemCount int     `json:"itemCount"`
+		Items     []int32 `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sel); err != nil {
+		t.Fatal(err)
+	}
+	if sel.ItemCount < 1 || len(sel.Items) < 1 {
+		t.Fatalf("empty selection %+v", sel)
+	}
+
+	img := get(t, ts.URL+"/linked.png?x=0.5&y=0.5")
+	if img.StatusCode != http.StatusOK {
+		t.Fatalf("linked status %d", img.StatusCode)
+	}
+	if _, err := png.Decode(img.Body); err != nil {
+		t.Fatalf("linked view not a PNG: %v", err)
+	}
+}
+
+func TestSelectOutOfRange404(t *testing.T) {
+	ts := testServer(t, "kcore", "")
+	for _, q := range []string{"?x=2&y=0.5", "?x=0.5&y=-1", ""} {
+		if resp := get(t, ts.URL+"/select"+q); resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("select%s status %d, want 404", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestSpectrumJSON(t *testing.T) {
+	ts := testServer(t, "kcore", "")
+	resp := get(t, ts.URL+"/spectrum")
+	var sp struct {
+		Levels     []float64 `json:"Levels"`
+		Components []int     `json:"Components"`
+		Items      []int     `json:"Items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sp); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Levels) == 0 || len(sp.Levels) != len(sp.Components) || len(sp.Levels) != len(sp.Items) {
+		t.Fatalf("inconsistent spectrum: %d levels, %d comps, %d items",
+			len(sp.Levels), len(sp.Components), len(sp.Items))
+	}
+}
+
+func TestEdgeMeasureServer(t *testing.T) {
+	ts := testServer(t, "ktruss", "")
+	resp := get(t, ts.URL+"/linked.png?x=0.5&y=0.5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edge-field linked view status %d", resp.StatusCode)
+	}
+	if _, err := png.Decode(resp.Body); err != nil {
+		t.Fatalf("edge-field linked view not a PNG: %v", err)
+	}
+}
+
+func TestUnknownMeasureRejected(t *testing.T) {
+	if _, err := newServer("", "GrQc", 0.03, 42, "nonsense", "", 0); err == nil {
+		t.Fatal("unknown measure must be rejected")
+	}
+	if _, err := newServer("", "GrQc", 0.03, 42, "kcore", "ktruss", 0); err == nil {
+		t.Fatal("vertex height + edge color must be rejected")
+	}
+}

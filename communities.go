@@ -1,0 +1,101 @@
+package scalarfield
+
+// Facade over the community, role, dataset, and query-layer substrates
+// (Sections III-B and III-D of the paper). These live in internal
+// packages; the re-exports here are the supported public surface.
+
+import (
+	"repro/internal/community"
+	"repro/internal/datasets"
+	"repro/internal/nngraph"
+	"repro/internal/reldb"
+)
+
+// --- Soft (overlapping) communities, Section III-B ---
+
+// CommunityModel is a soft community-affiliation model: per-vertex
+// score vectors in the style of Yang–Leskovec NMF (the paper's [14]).
+type CommunityModel = community.Model
+
+// CommunityOptions configures soft community detection.
+type CommunityOptions = community.Options
+
+// DetectCommunities fits a k-community affiliation model; Scores(c)
+// of the result is the scalar field that draws community c's terrain
+// (Figure 8).
+func DetectCommunities(g *Graph, k int, opts CommunityOptions) *CommunityModel {
+	return community.Detect(g, k, opts)
+}
+
+// --- Hard communities (Louvain), an extension comparator ---
+
+// Partition is a hard community assignment.
+type Partition = community.Partition
+
+// LouvainOptions configures modularity optimization.
+type LouvainOptions = community.LouvainOptions
+
+// LouvainCommunities detects communities by greedy modularity
+// optimization; the labels color a terrain via ColorByCategory.
+func LouvainCommunities(g *Graph, opts LouvainOptions) *Partition {
+	return community.Louvain(g, opts)
+}
+
+// Modularity computes Newman modularity Q of a labeling.
+func Modularity(g *Graph, label []int) float64 { return community.Modularity(g, label) }
+
+// CommunityScoreFields converts a hard partition into per-community
+// scalar fields whose terrains read core-to-periphery like Figure 8.
+func CommunityScoreFields(g *Graph, p *Partition) [][]float64 {
+	return community.CommunityScoreFields(g, p)
+}
+
+// --- Roles (Figure 9) ---
+
+// RoleModel assigns each vertex a dominant structural role (hub,
+// dense member, periphery, whisker).
+type RoleModel = community.RoleModel
+
+// DetectRoles classifies every vertex's structural role for role-
+// colored terrains (Figure 9).
+func DetectRoles(g *Graph) *RoleModel { return community.DetectRoles(g) }
+
+// --- Synthetic datasets (Table I stand-ins) ---
+
+// GenerateDataset builds the synthetic stand-in for a Table I dataset
+// ("GrQc", "Wikivote", "Wikipedia", "PPI", "Cit-Patent", "Amazon",
+// "Astro", "DBLP") at the given scale in (0, 1]; scale 1 approximates
+// the published node/edge counts.
+func GenerateDataset(name string, scale float64, seed int64) (*Graph, error) {
+	return datasets.Generate(name, scale, seed)
+}
+
+// --- Query results as scalar graphs (Section III-D) ---
+
+// RelTable is a numeric table with an optional categorical label, the
+// materialized form of a query result.
+type RelTable = nngraph.Table
+
+// NNGraphOptions configures nearest-neighbor graph construction over
+// table rows.
+type NNGraphOptions = nngraph.Options
+
+// BuildNNGraph connects each row of a query result to its nearest
+// rows in attribute space, producing the scalar graph of Section
+// III-D; any column of the table is then a scalar field over it.
+func BuildNNGraph(t *RelTable, opts NNGraphOptions) (*Graph, error) {
+	return nngraph.Build(t, opts)
+}
+
+// RelDB is an in-memory relational database whose query results
+// materialize as RelTable values.
+type RelDB = reldb.DB
+
+// Relation is a named table inside a RelDB.
+type Relation = reldb.Relation
+
+// RelQuery is a SELECT/WHERE/ORDER BY/LIMIT query over one relation.
+type RelQuery = reldb.Query
+
+// NewRelDB returns an empty in-memory relational database.
+func NewRelDB() *RelDB { return reldb.NewDB() }

@@ -1,0 +1,134 @@
+package scalarfield
+
+import (
+	"testing"
+)
+
+func TestFacadeLouvainAndModularity(t *testing.T) {
+	g := extGraph() // two bridged K4s
+	p := LouvainCommunities(g, LouvainOptions{Seed: 3})
+	if p.Count != 2 {
+		t.Fatalf("Louvain found %d communities on two bridged K4s, want 2", p.Count)
+	}
+	if q := Modularity(g, p.Label); q <= 0 {
+		t.Fatalf("modularity %g, want > 0", q)
+	}
+	fields := CommunityScoreFields(g, p)
+	if len(fields) != 2 {
+		t.Fatalf("%d score fields", len(fields))
+	}
+	// Each community field renders as a terrain whose single peak is
+	// that community.
+	terr, err := NewVertexTerrain(g, fields[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := terr.Peaks(1)
+	if len(peaks) != 1 {
+		t.Fatalf("community terrain has %d peaks at α=1, want 1", len(peaks))
+	}
+	if items := terr.PeakItems(peaks[0]); len(items) != 4 {
+		t.Fatalf("community peak holds %d vertices, want 4", len(items))
+	}
+}
+
+func TestFacadeDetectCommunitiesScores(t *testing.T) {
+	g := extGraph()
+	m := DetectCommunities(g, 2, CommunityOptions{Seed: 5})
+	for c := 0; c < 2; c++ {
+		scores := m.Scores(c)
+		if len(scores) != g.NumVertices() {
+			t.Fatalf("community %d scores length %d", c, len(scores))
+		}
+	}
+	if dom := m.Dominant(); len(dom) != g.NumVertices() {
+		t.Fatalf("dominant length %d", len(dom))
+	}
+}
+
+func TestFacadeRoles(t *testing.T) {
+	g := extGraph()
+	roles := DetectRoles(g)
+	if len(roles.Dominant) != g.NumVertices() {
+		t.Fatalf("roles length %d", len(roles.Dominant))
+	}
+}
+
+func TestFacadeGenerateDataset(t *testing.T) {
+	g, err := GenerateDataset("GrQc", 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		t.Fatalf("empty dataset %v", g)
+	}
+	if _, err := GenerateDataset("NoSuchDataset", 0.1, 1); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestFacadeRelDBToTerrain(t *testing.T) {
+	// The full Section III-D pipeline through the public API only:
+	// relation → query → NN graph → terrain colored by genus.
+	db := NewRelDB()
+	err := db.Create(&Relation{
+		Name:    "obs",
+		Columns: []string{"a", "b"},
+		Rows: [][]float64{
+			{1, 10}, {1.1, 11}, {1.2, 10.5},
+			{5, 2}, {5.1, 2.2}, {5.2, 1.9},
+		},
+		LabelColumn: "genus",
+		Labels:      []int{0, 0, 0, 1, 1, 1},
+		LabelNames:  []string{"low", "high"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := db.Run(RelQuery{From: "obs", Where: "a >= 1 AND a <= 6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 6 {
+		t.Fatalf("query kept %d rows", len(table.Rows))
+	}
+	g, err := BuildNNGraph(table, NNGraphOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terr, err := NewVertexTerrain(g, table.Column(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := terr.ColorByCategory(table.Labels); err != nil {
+		t.Fatal(err)
+	}
+	// Attribute a separates the two genus: two peaks above α=4's cut
+	// hold exactly the "high" genus rows.
+	peaks := terr.Peaks(4)
+	if len(peaks) != 1 {
+		t.Fatalf("%d peaks at α=4, want 1", len(peaks))
+	}
+	if items := terr.PeakItems(peaks[0]); len(items) != 3 {
+		t.Fatalf("peak holds %d rows, want the 3 high-genus rows", len(items))
+	}
+}
+
+func TestFacadeComponentMonitor(t *testing.T) {
+	m := NewComponentMonitor(5, []float64{7, 7, 1})
+	if m.Components() != 2 {
+		t.Fatalf("components %d, want 2", m.Components())
+	}
+	if merged, err := m.AddEdge(0, 1); err != nil || !merged {
+		t.Fatalf("AddEdge: %v %v", merged, err)
+	}
+	if err := m.RaiseScalar(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Components() != 1 {
+		t.Fatalf("components %d, want 1", m.Components())
+	}
+}

@@ -1,0 +1,134 @@
+package scalarfield
+
+// This file re-exports the extension modules built beyond the paper's
+// core pipeline: interchange formats that carry scalar fields, the
+// contour-spectrum analysis tools, the (r,s)-nucleus comparator, and
+// the additional scalar measures (edge betweenness, Katz, onion
+// layers).
+
+import (
+	"io"
+
+	"repro/internal/contour"
+	"repro/internal/correlation"
+	"repro/internal/graph"
+	"repro/internal/measures"
+	"repro/internal/nucleus"
+	"repro/internal/stream"
+)
+
+// --- Interchange formats (GraphML, node-link JSON, field CSV) ---
+
+// WriteGraphML writes the graph and its scalar fields as GraphML,
+// readable by Gephi, yEd, NetworkX and igraph. Field maps may be nil.
+func WriteGraphML(w io.Writer, g *Graph, vertexFields, edgeFields map[string][]float64) error {
+	return graph.WriteGraphML(w, g, vertexFields, edgeFields)
+}
+
+// ReadGraphML parses a GraphML document, returning the graph plus any
+// numeric node and edge attributes as scalar fields.
+func ReadGraphML(r io.Reader) (*Graph, map[string][]float64, map[string][]float64, error) {
+	return graph.ReadGraphML(r)
+}
+
+// WriteJSON writes the graph and its scalar fields in node-link JSON
+// form (d3-force / NetworkX json_graph convention).
+func WriteJSON(w io.Writer, g *Graph, vertexFields, edgeFields map[string][]float64) error {
+	return graph.WriteJSON(w, g, vertexFields, edgeFields)
+}
+
+// ReadJSON parses a node-link JSON document.
+func ReadJSON(r io.Reader) (*Graph, map[string][]float64, map[string][]float64, error) {
+	return graph.ReadJSON(r)
+}
+
+// WriteFieldsCSV writes named scalar fields as CSV with an id column.
+func WriteFieldsCSV(w io.Writer, names []string, fields [][]float64) error {
+	return graph.WriteFieldsCSV(w, names, fields)
+}
+
+// ReadFieldsCSV parses scalar fields written by WriteFieldsCSV.
+func ReadFieldsCSV(r io.Reader) ([]string, [][]float64, error) {
+	return graph.ReadFieldsCSV(r)
+}
+
+// --- Contour-spectrum analysis (level-set view of Section II-B) ---
+
+// Spectrum is the contour spectrum of a scalar field: the component
+// count B0(α) and the survivor count as step functions of α.
+type Spectrum = contour.Spectrum
+
+// SublevelTree is the split tree: the sublevel (basin) dual of the
+// scalar tree.
+type SublevelTree = contour.SublevelTree
+
+// NewSpectrum computes the contour spectrum of a terrain's tree.
+func NewSpectrum(t *Terrain) *Spectrum { return contour.NewSpectrum(t.Tree) }
+
+// NewSublevelTree builds the split tree of a vertex scalar field,
+// whose subtrees are maximal sublevel (<= α) components — basins
+// rather than peaks.
+func NewSublevelTree(g *Graph, values []float64) (*SublevelTree, error) {
+	return contour.NewSublevelTree(g, values)
+}
+
+// --- (r,s)-nucleus decomposition (related-work comparator) ---
+
+// NucleusDecomposition is an (r,s)-nucleus decomposition of a graph.
+type NucleusDecomposition = nucleus.Decomposition
+
+// NucleusForest is the forest-of-nuclei hierarchy, realized as a super
+// scalar tree over the r-clique/s-clique auxiliary graph.
+type NucleusForest = nucleus.AuxiliaryTree
+
+// NucleusDecompose computes the (r,s)-nucleus decomposition; supported
+// pairs are (1,2) = k-core, (2,3) = k-truss, (3,4) = K4 nuclei.
+func NucleusDecompose(g *Graph, r, s int) (*NucleusDecomposition, error) {
+	return nucleus.Decompose(g, r, s)
+}
+
+// --- Additional scalar measures ---
+
+// EdgeBetweennessCentrality returns exact per-edge betweenness, an
+// edge-based scalar field for NewEdgeTerrain.
+func EdgeBetweennessCentrality(g *Graph) []float64 {
+	return measures.EdgeBetweennessCentrality(g)
+}
+
+// KatzCentrality returns Katz centrality normalized to unit maximum;
+// pass alpha <= 0 to select a safe attenuation automatically.
+func KatzCentrality(g *Graph, alpha float64) []float64 {
+	return measures.KatzCentrality(g, alpha, 1e-10, 500)
+}
+
+// OnionLayers returns each vertex's onion-decomposition layer, a
+// strictly finer peeling field than CoreNumbers.
+func OnionLayers(g *Graph) []float64 { return measures.OnionLayersFloat(g) }
+
+// --- Streaming component maintenance ---
+
+// ComponentMonitor incrementally maintains the maximal α-connected
+// components of a growing scalar graph for one fixed α: vertices and
+// edges may be added and scalar values raised, with merge events
+// tracked in amortized near-constant time per update.
+type ComponentMonitor = stream.Monitor
+
+// NewComponentMonitor creates a monitor over the initial vertex values
+// at the given threshold; add edges with AddEdge afterwards.
+func NewComponentMonitor(alpha float64, values []float64) *ComponentMonitor {
+	return stream.NewMonitor(alpha, values)
+}
+
+// --- Correlation extensions ---
+
+// EdgeLocalCorrelationIndex computes LCI over edge neighborhoods
+// (edges sharing an endpoint), the paper's edge-based adaptation.
+func EdgeLocalCorrelationIndex(g *Graph, si, sj []float64) ([]float64, error) {
+	return correlation.EdgeLCI(g, si, sj)
+}
+
+// KHopLocalCorrelationIndex computes LCI over k-hop neighborhoods;
+// the paper fixes k=1, this exposes the general definition.
+func KHopLocalCorrelationIndex(g *Graph, si, sj []float64, hops int) ([]float64, error) {
+	return correlation.LCI(g, si, sj, correlation.Options{Hops: hops})
+}

@@ -1,0 +1,203 @@
+package scalarfield
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func extGraph() *Graph {
+	// Two K4s bridged: rich enough for every extension to bite.
+	b := NewBuilder(8)
+	for u := int32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(u, v)
+			b.AddEdge(u+4, v+4)
+		}
+	}
+	b.AddEdge(3, 4)
+	return b.Build()
+}
+
+func TestFacadeGraphMLRoundTrip(t *testing.T) {
+	g := extGraph()
+	vf := map[string][]float64{"kcore": CoreNumbers(g)}
+	ef := map[string][]float64{"truss": TrussNumbers(g)}
+	var buf bytes.Buffer
+	if err := WriteGraphML(&buf, g, vf, ef); err != nil {
+		t.Fatal(err)
+	}
+	g2, vf2, ef2, err := ReadGraphML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g2.Edges(), g.Edges()) ||
+		!reflect.DeepEqual(vf2, vf) || !reflect.DeepEqual(ef2, ef) {
+		t.Fatal("facade GraphML round trip mismatch")
+	}
+}
+
+func TestFacadeJSONAndCSV(t *testing.T) {
+	g := extGraph()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, _, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("JSON round trip: %d edges, want %d", g2.NumEdges(), g.NumEdges())
+	}
+
+	buf.Reset()
+	fields := [][]float64{CoreNumbers(g), DegreeCentrality(g)}
+	if err := WriteFieldsCSV(&buf, []string{"kcore", "degree"}, fields); err != nil {
+		t.Fatal(err)
+	}
+	names, fields2, err := ReadFieldsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"kcore", "degree"}) || !reflect.DeepEqual(fields2, fields) {
+		t.Fatal("facade CSV round trip mismatch")
+	}
+}
+
+func TestFacadeSpectrum(t *testing.T) {
+	g := extGraph()
+	terr, err := NewVertexTerrain(g, CoreNumbers(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := NewSpectrum(terr)
+	// Every vertex (bridge endpoints included) has degree >= 3, so the
+	// whole bridged graph is a single 3-core: B0(3) = 1 with all 8
+	// vertices surviving. Contrast with the (2,3)-nucleus view in
+	// TestFacadeNucleus, where triangle connectivity splits the K4s.
+	if got := sp.ComponentsAt(3); got != 1 {
+		t.Fatalf("B0(3) = %d, want 1", got)
+	}
+	if got := sp.ItemsAt(3); got != 8 {
+		t.Fatalf("survivors at 3 = %d, want 8", got)
+	}
+	if got := sp.ComponentsAt(3.5); got != 0 {
+		t.Fatalf("B0(3.5) = %d, want 0", got)
+	}
+}
+
+func TestFacadeSublevelTree(t *testing.T) {
+	g := extGraph()
+	st, err := NewSublevelTree(g, CoreNumbers(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every vertex has KC = 3, so the whole graph is one basin.
+	comps := st.ComponentsAt(3)
+	if len(comps) != 1 || len(comps[0]) != 8 {
+		t.Fatalf("sublevel components at 3 = %v, want one 8-vertex basin", comps)
+	}
+}
+
+func TestFacadeNucleus(t *testing.T) {
+	g := extGraph()
+	d, err := NucleusDecompose(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxKappa() != 2 {
+		t.Fatalf("max κ = %d, want 2 (K4 edges sit in 2 triangles)", d.MaxKappa())
+	}
+	nuclei := d.Forest().NucleiAt(2)
+	if len(nuclei) != 2 {
+		t.Fatalf("%d 2-(2,3)-nuclei, want 2", len(nuclei))
+	}
+	// The κ field renders as an edge terrain.
+	terr, err := NewEdgeTerrain(g, d.KappaField())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peaks := terr.Peaks(2); len(peaks) != 2 {
+		t.Fatalf("edge terrain peaks at 2: %d, want 2", len(peaks))
+	}
+}
+
+func TestFacadeNewMeasures(t *testing.T) {
+	g := extGraph()
+	ebc := EdgeBetweennessCentrality(g)
+	if len(ebc) != g.NumEdges() {
+		t.Fatalf("edge betweenness length %d", len(ebc))
+	}
+	bridge := g.EdgeID(3, 4)
+	for e := range ebc {
+		if int32(e) != bridge && ebc[e] >= ebc[bridge] {
+			t.Fatalf("edge %d betweenness %g not below bridge's %g", e, ebc[e], ebc[bridge])
+		}
+	}
+	katz := KatzCentrality(g, 0)
+	if len(katz) != 8 {
+		t.Fatalf("katz length %d", len(katz))
+	}
+	// Bridge endpoints have degree 4 vs 3 elsewhere: strictly higher Katz.
+	if katz[3] <= katz[0] || katz[4] <= katz[7] {
+		t.Fatalf("bridge endpoints should dominate: %v", katz)
+	}
+	onion := OnionLayers(g)
+	if len(onion) != 8 {
+		t.Fatalf("onion length %d", len(onion))
+	}
+}
+
+func TestFacadeCorrelationExtensions(t *testing.T) {
+	g := extGraph()
+	deg := DegreeCentrality(g)
+	kc := CoreNumbers(g)
+	lci1, err := KHopLocalCorrelationIndex(g, deg, kc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lci2, err := KHopLocalCorrelationIndex(g, deg, kc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lci1) != 8 || len(lci2) != 8 {
+		t.Fatal("LCI lengths wrong")
+	}
+	te := TrussNumbers(g)
+	ebc := EdgeBetweennessCentrality(g)
+	elci, err := EdgeLocalCorrelationIndex(g, te, ebc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elci) != g.NumEdges() {
+		t.Fatalf("edge LCI length %d", len(elci))
+	}
+	for _, v := range elci {
+		if v < -1-1e-9 || v > 1+1e-9 {
+			t.Fatalf("edge LCI %g out of [-1,1]", v)
+		}
+	}
+}
+
+func TestFacadeWriteHTMLAndAnnotatedSVG(t *testing.T) {
+	g := extGraph()
+	terr, err := NewVertexTerrain(g, CoreNumbers(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var html bytes.Buffer
+	if err := terr.WriteHTML(&html, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if html.Len() == 0 {
+		t.Fatal("empty HTML export")
+	}
+	var svg bytes.Buffer
+	if err := terr.WriteAnnotatedSVG(&svg, 300, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if svg.Len() == 0 {
+		t.Fatal("empty annotated SVG")
+	}
+}

@@ -1,0 +1,167 @@
+package scalarfield
+
+// End-to-end integration tests chaining the public API the way the
+// paper's pipeline does: dataset → measure → tree → terrain → render
+// → persistence → interchange, with cross-checks at every joint.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestPipelineKCoreEndToEnd(t *testing.T) {
+	g, err := GenerateDataset("GrQc", 0.03, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc := CoreNumbers(g)
+	terr, err := NewVertexTerrain(g, kc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := terr.ColorByValues(DegreeCentrality(g)); err != nil {
+		t.Fatal(err)
+	}
+	if err := terr.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := terr.Layout.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Proposition 4: every peak at α is a K-core with K = α.
+	maxKC := 0.0
+	for _, v := range kc {
+		if v > maxKC {
+			maxKC = v
+		}
+	}
+	for _, p := range terr.Peaks(maxKC) {
+		items := terr.PeakItems(p)
+		in := map[int32]bool{}
+		for _, v := range items {
+			in[v] = true
+		}
+		for _, v := range items {
+			deg := 0
+			for _, u := range g.Neighbors(v) {
+				if in[u] {
+					deg++
+				}
+			}
+			if float64(deg) < maxKC {
+				t.Fatalf("peak vertex %d has %d in-peak neighbors, want >= %g", v, deg, maxKC)
+			}
+		}
+	}
+
+	// Render all artifact types.
+	img := terr.Render(RenderOptions{Width: 160, Height: 120})
+	if img.Bounds().Dx() != 160 {
+		t.Fatal("render size wrong")
+	}
+	var svg, obj, html bytes.Buffer
+	if err := terr.WriteSVG(&svg, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := terr.WriteOBJ(&obj, 32, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := terr.WriteHTML(&html, "it"); err != nil {
+		t.Fatal(err)
+	}
+	if svg.Len() == 0 || obj.Len() == 0 || html.Len() == 0 {
+		t.Fatal("an artifact came out empty")
+	}
+
+	// Persist the tree and rebuild the terrain from it: components at
+	// every integer α must be identical (the paper's two-tool split).
+	var blob bytes.Buffer
+	if err := terr.SaveTree(&blob); err != nil {
+		t.Fatal(err)
+	}
+	tree2, err := LoadTree(&blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terr2, err := NewTerrainFromTree(tree2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for alpha := 0.0; alpha <= maxKC; alpha++ {
+		a, b := terr.Components(alpha), terr2.Components(alpha)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("α=%g: components differ after save/load", alpha)
+		}
+	}
+
+	// Round-trip the attributed graph through GraphML and rebuild the
+	// terrain from the decoded field: same component structure.
+	var gml bytes.Buffer
+	if err := WriteGraphML(&gml, g, map[string][]float64{"kcore": kc}, nil); err != nil {
+		t.Fatal(err)
+	}
+	g3, vf, _, err := ReadGraphML(&gml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terr3, err := NewVertexTerrain(g3, vf["kcore"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for alpha := 0.0; alpha <= maxKC; alpha++ {
+		if !reflect.DeepEqual(terr.Components(alpha), terr3.Components(alpha)) {
+			t.Fatalf("α=%g: components differ after GraphML round trip", alpha)
+		}
+	}
+}
+
+func TestPipelineEdgeTrussEndToEnd(t *testing.T) {
+	g, err := GenerateDataset("PPI", 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt := TrussNumbers(g)
+	terr, err := NewEdgeTerrain(g, kt, TerrainOptions{SimplifyBins: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terr.Tree.NumItems() != g.NumEdges() {
+		t.Fatalf("edge tree over %d items, want %d edges", terr.Tree.NumItems(), g.NumEdges())
+	}
+	// Spectrum over the edge tree agrees with direct extraction.
+	sp := NewSpectrum(terr)
+	for _, alpha := range sp.Levels {
+		if got, want := sp.ComponentsAt(alpha), len(terr.Components(alpha)); got != want {
+			t.Fatalf("α=%g: spectrum B0 %d != %d components", alpha, got, want)
+		}
+	}
+}
+
+func TestPipelineCorrelationEndToEnd(t *testing.T) {
+	g, err := GenerateDataset("Astro", 0.03, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := DegreeCentrality(g)
+	btw := ApproxBetweennessCentrality(g, 128, 5)
+	gci, err := GlobalCorrelationIndex(g, deg, btw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gci <= 0.2 {
+		t.Fatalf("GCI(degree, betweenness) = %g, want strongly positive (paper: 0.89)", gci)
+	}
+	lci, err := LocalCorrelationIndex(g, deg, btw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terr, err := NewVertexTerrain(g, OutlierScores(lci))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terr.Tree.NumItems() != g.NumVertices() {
+		t.Fatal("outlier terrain item count wrong")
+	}
+}

@@ -1,0 +1,128 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/unionfind"
+)
+
+// OpenOrdOptions configures the multilevel layout.
+type OpenOrdOptions struct {
+	// CoarsestSize stops coarsening once the graph is this small.
+	// Default 64.
+	CoarsestSize int
+	// Seed for deterministic matching and refinement.
+	Seed int64
+	// RefineIterations of local spring refinement per level. Default 30.
+	RefineIterations int
+}
+
+func (o *OpenOrdOptions) fill() {
+	if o.CoarsestSize <= 0 {
+		o.CoarsestSize = 64
+	}
+	if o.RefineIterations <= 0 {
+		o.RefineIterations = 30
+	}
+}
+
+// OpenOrdLayout computes an OpenOrd-style multilevel layout [26]:
+// the graph is repeatedly coarsened by randomized heavy-edge matching,
+// the coarsest graph is laid out with the spring model, and each
+// level's positions are projected back and locally refined. Like
+// OpenOrd, it trades per-vertex precision for scalability and global
+// cluster separation.
+func OpenOrdLayout(g *graph.Graph, opts OpenOrdOptions) []Point {
+	opts.fill()
+	return multilevel(g, &opts, 0)
+}
+
+func multilevel(g *graph.Graph, opts *OpenOrdOptions, level int) []Point {
+	n := g.NumVertices()
+	if n <= opts.CoarsestSize || level > 20 {
+		return SpringLayout(g, SpringOptions{Seed: opts.Seed + int64(level), Iterations: 150})
+	}
+	coarse, memberOf := coarsen(g, opts.Seed+int64(level))
+	if coarse.NumVertices() >= n { // matching failed to shrink: stop
+		return SpringLayout(g, SpringOptions{Seed: opts.Seed, Iterations: 150})
+	}
+	coarsePos := multilevel(coarse, opts, level+1)
+
+	// Project back with jitter, then refine locally.
+	rng := rand.New(rand.NewSource(opts.Seed + 1000 + int64(level)))
+	pos := make([]Point, n)
+	for v := 0; v < n; v++ {
+		cp := coarsePos[memberOf[v]]
+		pos[v] = Point{cp.X + 0.01*(rng.Float64()-0.5), cp.Y + 0.01*(rng.Float64()-0.5)}
+	}
+	refine(g, pos, opts.RefineIterations)
+	normalize(pos)
+	return pos
+}
+
+// coarsen merges matched endpoints of a randomized maximal matching,
+// returning the coarse graph and each fine vertex's coarse vertex.
+func coarsen(g *graph.Graph, seed int64) (*graph.Graph, []int32) {
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(n)
+	dsu := unionfind.New(n)
+	matched := make([]bool, n)
+	for _, vi := range order {
+		v := int32(vi)
+		if matched[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if !matched[u] && u != v {
+				matched[v], matched[u] = true, true
+				dsu.Union(int(v), int(u))
+				break
+			}
+		}
+	}
+	// Compact coarse IDs.
+	memberOf := make([]int32, n)
+	idOf := map[int]int32{}
+	for v := 0; v < n; v++ {
+		r := dsu.Find(v)
+		id, ok := idOf[r]
+		if !ok {
+			id = int32(len(idOf))
+			idOf[r] = id
+		}
+		memberOf[v] = id
+	}
+	b := graph.NewBuilder(len(idOf))
+	for _, e := range g.Edges() {
+		cu, cv := memberOf[e.U], memberOf[e.V]
+		if cu != cv {
+			b.AddEdge(cu, cv)
+		}
+	}
+	return b.Build(), memberOf
+}
+
+// refine runs cheap local spring iterations: each vertex moves toward
+// the centroid of its neighbors with a small step — the "simmer"
+// stage of OpenOrd.
+func refine(g *graph.Graph, pos []Point, iterations int) {
+	for it := 0; it < iterations; it++ {
+		for v := int32(0); v < int32(len(pos)); v++ {
+			nbrs := g.Neighbors(v)
+			if len(nbrs) == 0 {
+				continue
+			}
+			var cx, cy float64
+			for _, u := range nbrs {
+				cx += pos[u].X
+				cy += pos[u].Y
+			}
+			cx /= float64(len(nbrs))
+			cy /= float64(len(nbrs))
+			pos[v].X += 0.2 * (cx - pos[v].X)
+			pos[v].Y += 0.2 * (cy - pos[v].Y)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package baselines
+
+import "math"
+
+// Splat renders a GraphSplatting field (van Liere & de Leeuw [21]):
+// each vertex contributes a Gaussian kernel at its layout position,
+// and the accumulated field — returned as a res×res grid, row-major,
+// normalized to [0,1] — visualizes vertex density as a continuous 2D
+// field. Weights (e.g. degree or a scalar measure) modulate each
+// vertex's contribution; pass nil for uniform weights.
+func Splat(pos []Point, weights []float64, res int, sigma float64) []float64 {
+	if res <= 0 {
+		res = 128
+	}
+	if sigma <= 0 {
+		sigma = 0.03
+	}
+	field := make([]float64, res*res)
+	if len(pos) == 0 {
+		return field
+	}
+	// Truncate each kernel at 3σ for speed.
+	radius := int(3 * sigma * float64(res))
+	if radius < 1 {
+		radius = 1
+	}
+	inv2s2 := 1 / (2 * sigma * sigma)
+	for i, p := range pos {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		cx, cy := p.X*float64(res), p.Y*float64(res)
+		x0, x1 := int(cx)-radius, int(cx)+radius
+		y0, y1 := int(cy)-radius, int(cy)+radius
+		for y := y0; y <= y1; y++ {
+			if y < 0 || y >= res {
+				continue
+			}
+			for x := x0; x <= x1; x++ {
+				if x < 0 || x >= res {
+					continue
+				}
+				// dx, dy in layout units so sigma is resolution-free.
+				dx := (float64(x) + 0.5 - cx) / float64(res)
+				dy := (float64(y) + 0.5 - cy) / float64(res)
+				field[y*res+x] += w * math.Exp(-(dx*dx+dy*dy)*inv2s2)
+			}
+		}
+	}
+	// Normalize the field to [0,1].
+	max := 0.0
+	for _, v := range field {
+		if v > max {
+			max = v
+		}
+	}
+	if max > 0 {
+		for i := range field {
+			field[i] /= max
+		}
+	}
+	return field
+}

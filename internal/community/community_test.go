@@ -1,0 +1,276 @@
+package community
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// twoCliquesBridged builds two k-cliques joined by a single bridge edge.
+func twoCliquesBridged(k int) *graph.Graph {
+	b := graph.NewBuilder(2 * k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b.AddEdge(int32(i), int32(j))
+			b.AddEdge(int32(k+i), int32(k+j))
+		}
+	}
+	b.AddEdge(int32(k-1), int32(k))
+	return b.Build()
+}
+
+// plantedPartition builds c communities of size s with dense
+// intra-community and sparse inter-community edges.
+func plantedPartition(seed int64, c, s int, pIn, pOut float64) (*graph.Graph, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := c * s
+	truth := make([]int, n)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		truth[v] = v / s
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if truth[u] == truth[v] {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build(), truth
+}
+
+func TestDetectTwoCliques(t *testing.T) {
+	g := twoCliquesBridged(8)
+	m := Detect(g, 2, Options{Seed: 1})
+	dom := m.Dominant()
+	// Every vertex in the same clique should share a dominant
+	// community, and the two cliques should get different ones.
+	for v := 1; v < 8; v++ {
+		if dom[v] != dom[0] {
+			t.Errorf("clique-1 vertex %d dominant %d != %d", v, dom[v], dom[0])
+		}
+	}
+	for v := 9; v < 16; v++ {
+		if dom[v] != dom[8] {
+			t.Errorf("clique-2 vertex %d dominant %d != %d", v, dom[v], dom[8])
+		}
+	}
+	if dom[0] == dom[8] {
+		t.Error("the two cliques collapsed into one community")
+	}
+}
+
+func TestDetectPlantedPartition(t *testing.T) {
+	g, truth := plantedPartition(7, 3, 20, 0.5, 0.01)
+	m := Detect(g, 3, Options{Seed: 3})
+	dom := m.Dominant()
+	// Measure agreement up to label permutation: vertices in the same
+	// true community should mostly share dominant labels.
+	agree, total := 0, 0
+	for u := 0; u < len(truth); u++ {
+		for v := u + 1; v < len(truth); v++ {
+			total++
+			same := truth[u] == truth[v]
+			predSame := dom[u] == dom[v]
+			if same == predSame {
+				agree++
+			}
+		}
+	}
+	acc := float64(agree) / float64(total)
+	if acc < 0.85 {
+		t.Errorf("pairwise community agreement = %.3f, want >= 0.85", acc)
+	}
+}
+
+func TestDetectAffinityNonNegative(t *testing.T) {
+	g, _ := plantedPartition(11, 2, 15, 0.4, 0.02)
+	m := Detect(g, 2, Options{Seed: 11, Iterations: 10})
+	for v, row := range m.F {
+		for c, f := range row {
+			if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Fatalf("F[%d][%d] = %g", v, c, f)
+			}
+		}
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	g := twoCliquesBridged(6)
+	a := Detect(g, 2, Options{Seed: 5})
+	b := Detect(g, 2, Options{Seed: 5})
+	for v := range a.F {
+		for c := range a.F[v] {
+			if a.F[v][c] != b.F[v][c] {
+				t.Fatalf("same seed produced different affinities at F[%d][%d]", v, c)
+			}
+		}
+	}
+}
+
+func TestDetectImprovesLikelihood(t *testing.T) {
+	g, _ := plantedPartition(13, 2, 15, 0.5, 0.02)
+	short := Detect(g, 2, Options{Seed: 2, Iterations: 1})
+	long := Detect(g, 2, Options{Seed: 2, Iterations: 30})
+	if long.LogLikelihood(g) < short.LogLikelihood(g) {
+		t.Errorf("more iterations decreased log-likelihood: %g -> %g",
+			short.LogLikelihood(g), long.LogLikelihood(g))
+	}
+}
+
+func TestScoresColumn(t *testing.T) {
+	g := twoCliquesBridged(5)
+	m := Detect(g, 2, Options{Seed: 9})
+	for c := 0; c < 2; c++ {
+		col := m.Scores(c)
+		if len(col) != g.NumVertices() {
+			t.Fatalf("Scores(%d) len = %d", c, len(col))
+		}
+		for v := range col {
+			if col[v] != m.F[v][c] {
+				t.Fatalf("Scores(%d)[%d] mismatch", c, v)
+			}
+		}
+	}
+}
+
+func TestSeedVerticesSpread(t *testing.T) {
+	g := twoCliquesBridged(10)
+	seeds := seedVertices(g, 2)
+	if len(seeds) != 2 {
+		t.Fatalf("got %d seeds, want 2", len(seeds))
+	}
+	// The two seeds should land in different cliques.
+	inFirst := func(v int32) bool { return v < 10 }
+	if inFirst(seeds[0]) == inFirst(seeds[1]) {
+		t.Errorf("seeds %v landed in the same clique", seeds)
+	}
+}
+
+func TestSeedVerticesEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	if s := seedVertices(g, 3); s != nil {
+		t.Errorf("seeds on empty graph = %v", s)
+	}
+}
+
+// hubAndSpokes builds a dense K6 community (0..5) with vertex 0 also
+// connected to many low-degree spokes, plus a whisker chain.
+func hubAndSpokes() *graph.Graph {
+	b := graph.NewBuilder(16)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	// Spokes 6..11 attach to hub 0 only.
+	for s := 6; s < 12; s++ {
+		b.AddEdge(0, int32(s))
+	}
+	// Periphery 12, 13 attach to two clique members each.
+	b.AddEdge(12, 1)
+	b.AddEdge(12, 2)
+	b.AddEdge(13, 3)
+	b.AddEdge(13, 4)
+	// Whisker chain 14-15 dangling off a spoke.
+	b.AddEdge(6, 14)
+	b.AddEdge(14, 15)
+	return b.Build()
+}
+
+func TestDetectRolesHub(t *testing.T) {
+	g := hubAndSpokes()
+	rm := DetectRoles(g)
+	if rm.Dominant[0] != RoleHub {
+		t.Errorf("vertex 0 role = %v, want hub (affinity %v)", rm.Dominant[0], rm.Affinity[0])
+	}
+}
+
+func TestDetectRolesDense(t *testing.T) {
+	g := hubAndSpokes()
+	rm := DetectRoles(g)
+	for v := 1; v < 6; v++ {
+		if rm.Dominant[v] != RoleDense {
+			t.Errorf("clique vertex %d role = %v, want dense (affinity %v)",
+				v, rm.Dominant[v], rm.Affinity[v])
+		}
+	}
+}
+
+func TestDetectRolesPeriphery(t *testing.T) {
+	g := hubAndSpokes()
+	rm := DetectRoles(g)
+	for _, v := range []int{12, 13} {
+		if rm.Dominant[v] != RolePeriphery {
+			t.Errorf("vertex %d role = %v, want periphery (affinity %v)",
+				v, rm.Dominant[v], rm.Affinity[v])
+		}
+	}
+}
+
+func TestDetectRolesWhisker(t *testing.T) {
+	g := hubAndSpokes()
+	rm := DetectRoles(g)
+	if rm.Dominant[15] != RoleWhisker {
+		t.Errorf("vertex 15 role = %v, want whisker (affinity %v)",
+			rm.Dominant[15], rm.Affinity[15])
+	}
+}
+
+func TestRoleAffinitiesNormalized(t *testing.T) {
+	g := hubAndSpokes()
+	rm := DetectRoles(g)
+	for v, row := range rm.Affinity {
+		var sum float64
+		for _, a := range row {
+			if a < 0 {
+				t.Fatalf("negative affinity at vertex %d: %v", v, row)
+			}
+			sum += a
+		}
+		if g.Degree(int32(v)) > 0 && math.Abs(sum-1) > 1e-9 {
+			t.Errorf("vertex %d affinities sum to %g", v, sum)
+		}
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	cases := map[Role]string{
+		RoleHub: "hub", RoleDense: "dense",
+		RolePeriphery: "periphery", RoleWhisker: "whisker",
+		Role(99): "unknown",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("Role(%d).String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+func TestPercentileNormalize(t *testing.T) {
+	out := percentileNormalize([]float64{10, 20, 30})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Errorf("percentile[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+	// Ties share the mean rank.
+	out = percentileNormalize([]float64{5, 5, 9})
+	if math.Abs(out[0]-0.25) > 1e-12 || math.Abs(out[1]-0.25) > 1e-12 {
+		t.Errorf("tied percentiles = %v, want [0.25 0.25 1]", out)
+	}
+	// Degenerate sizes.
+	if out := percentileNormalize(nil); len(out) != 0 {
+		t.Error("empty input should give empty output")
+	}
+	if out := percentileNormalize([]float64{42}); out[0] != 0.5 {
+		t.Errorf("singleton percentile = %g, want 0.5", out[0])
+	}
+}

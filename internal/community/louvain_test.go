@@ -1,0 +1,148 @@
+package community
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// plantedTwo builds two dense cliques joined by one bridge edge.
+func plantedTwo(size int) *graph.Graph {
+	b := graph.NewBuilder(2 * size)
+	for u := 0; u < size; u++ {
+		for v := u + 1; v < size; v++ {
+			b.AddEdge(int32(u), int32(v))
+			b.AddEdge(int32(u+size), int32(v+size))
+		}
+	}
+	b.AddEdge(int32(size-1), int32(size))
+	return b.Build()
+}
+
+func TestLouvainTwoCliques(t *testing.T) {
+	g := plantedTwo(8)
+	p := Louvain(g, LouvainOptions{Seed: 1})
+	if p.Count != 2 {
+		t.Fatalf("found %d communities, want 2", p.Count)
+	}
+	for v := 0; v < 8; v++ {
+		if p.Label[v] != p.Label[0] {
+			t.Fatalf("clique 1 split: %v", p.Label)
+		}
+		if p.Label[v+8] != p.Label[8] {
+			t.Fatalf("clique 2 split: %v", p.Label)
+		}
+	}
+	if p.Label[0] == p.Label[8] {
+		t.Fatal("cliques merged")
+	}
+}
+
+func TestLouvainPlantedPartitionRecovery(t *testing.T) {
+	g, truth := plantedPartition(3, 4, 16, 0.6, 0.02)
+	p := Louvain(g, LouvainOptions{Seed: 7})
+	if p.Count != 4 {
+		t.Fatalf("found %d communities, want 4", p.Count)
+	}
+	// Every ground-truth group must map to exactly one detected label.
+	seen := map[int]int{}
+	for v, c := range p.Label {
+		tc := truth[v]
+		if prev, ok := seen[tc]; ok && prev != c {
+			t.Fatalf("group %d split across labels %d and %d", tc, prev, c)
+		}
+		seen[tc] = c
+	}
+}
+
+func TestLouvainModularityNonNegativeAndBetterThanSingleton(t *testing.T) {
+	g, _ := plantedPartition(11, 3, 12, 0.5, 0.05)
+	p := Louvain(g, LouvainOptions{Seed: 5})
+	q := Modularity(g, p.Label)
+	if q <= 0 {
+		t.Fatalf("modularity %g, want > 0 on a planted partition", q)
+	}
+	// Singleton partition has Q <= 0.
+	singleton := make([]int, g.NumVertices())
+	for v := range singleton {
+		singleton[v] = v
+	}
+	if qs := Modularity(g, singleton); qs >= q {
+		t.Fatalf("singleton Q %g not below Louvain's %g", qs, q)
+	}
+	// All-in-one partition has Q = 0.
+	if q1 := Modularity(g, make([]int, g.NumVertices())); q1 != 0 {
+		t.Fatalf("one-community Q = %g, want 0", q1)
+	}
+}
+
+func TestLouvainDeterministicPerSeed(t *testing.T) {
+	g, _ := plantedPartition(2, 3, 10, 0.5, 0.05)
+	a := Louvain(g, LouvainOptions{Seed: 9})
+	b := Louvain(g, LouvainOptions{Seed: 9})
+	for v := range a.Label {
+		if a.Label[v] != b.Label[v] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+}
+
+func TestLouvainEdgelessAndEmpty(t *testing.T) {
+	p := Louvain(graph.FromEdges(0, nil), LouvainOptions{})
+	if p.Count != 0 || len(p.Label) != 0 {
+		t.Fatalf("empty graph: %+v", p)
+	}
+	p = Louvain(graph.FromEdges(5, nil), LouvainOptions{})
+	if len(p.Label) != 5 {
+		t.Fatalf("edgeless labels %v", p.Label)
+	}
+	// Five isolated vertices stay five communities.
+	if p.Count != 5 {
+		t.Fatalf("edgeless graph: %d communities, want 5", p.Count)
+	}
+}
+
+func TestLouvainResolutionSweep(t *testing.T) {
+	// Higher resolution must not produce fewer communities.
+	g, _ := plantedPartition(8, 4, 12, 0.55, 0.03)
+	low := Louvain(g, LouvainOptions{Seed: 4, Resolution: 0.5})
+	high := Louvain(g, LouvainOptions{Seed: 4, Resolution: 2})
+	if high.Count < low.Count {
+		t.Fatalf("resolution 2 gave %d communities < resolution 0.5's %d",
+			high.Count, low.Count)
+	}
+}
+
+func TestCommunityScoreFields(t *testing.T) {
+	g := plantedTwo(6)
+	p := Louvain(g, LouvainOptions{Seed: 1})
+	fields := CommunityScoreFields(g, p)
+	if len(fields) != p.Count {
+		t.Fatalf("%d fields for %d communities", len(fields), p.Count)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		c := p.Label[v]
+		if fields[c][v] < 1 || fields[c][v] > 2 {
+			t.Fatalf("member score %g outside [1,2]", fields[c][v])
+		}
+		for oc := range fields {
+			if oc != c && fields[oc][v] != 0 {
+				t.Fatalf("non-member score %g, want 0", fields[oc][v])
+			}
+		}
+	}
+	// Interior clique vertices (all neighbors same community) must
+	// outscore the bridge endpoint within their community field.
+	c0 := p.Label[0]
+	bridgeEnd := 5 // vertex size-1 touches the other clique
+	if fields[c0][0] <= fields[c0][bridgeEnd] {
+		t.Fatalf("interior score %g not above bridge endpoint's %g",
+			fields[c0][0], fields[c0][bridgeEnd])
+	}
+}
+
+func TestModularityEdgeless(t *testing.T) {
+	if q := Modularity(graph.FromEdges(3, nil), []int{0, 1, 2}); q != 0 {
+		t.Fatalf("edgeless modularity %g, want 0", q)
+	}
+}

@@ -1,0 +1,114 @@
+// Package core implements the paper's primary contribution: scalar
+// graphs, maximal α-connected components, and the vertex/edge scalar
+// trees that drive the terrain visualization.
+//
+// A scalar graph (Section II of the paper) is a graph whose vertices
+// (or edges) each carry one numeric value. Viewing the graph as a
+// 1-dimensional simplicial complex, these values induce a piecewise-
+// linear function, and the maximal α-connected components of
+// Definition 1 play the role of level-set contours. The scalar tree
+// (Section II-B) is the merge-tree-like structure that captures every
+// such component for every α at once, along with their containment and
+// connectivity relationships.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// VertexField is a vertex-based scalar graph: one scalar value per
+// vertex of G. Values[v] is what the paper writes v.scalar.
+type VertexField struct {
+	G      *graph.Graph
+	Values []float64
+}
+
+// NewVertexField couples a graph with per-vertex scalar values.
+// It returns an error if the slice length does not match the vertex
+// count or any value is NaN (NaN breaks the total order that the
+// scalar-tree sweep requires).
+func NewVertexField(g *graph.Graph, values []float64) (*VertexField, error) {
+	if len(values) != g.NumVertices() {
+		return nil, fmt.Errorf("core: %d values for %d vertices", len(values), g.NumVertices())
+	}
+	for i, v := range values {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("core: NaN scalar at vertex %d", i)
+		}
+	}
+	return &VertexField{G: g, Values: values}, nil
+}
+
+// MustVertexField is NewVertexField that panics on error; intended for
+// tests and examples with statically known-good inputs.
+func MustVertexField(g *graph.Graph, values []float64) *VertexField {
+	f, err := NewVertexField(g, values)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Min returns the minimum scalar value, or +Inf for an empty field.
+func (f *VertexField) Min() float64 { return minOf(f.Values) }
+
+// Max returns the maximum scalar value, or -Inf for an empty field.
+func (f *VertexField) Max() float64 { return maxOf(f.Values) }
+
+// EdgeField is an edge-based scalar graph: one scalar value per edge
+// of G, indexed by edge ID. Values[e] is what the paper writes e.scalar.
+type EdgeField struct {
+	G      *graph.Graph
+	Values []float64
+}
+
+// NewEdgeField couples a graph with per-edge scalar values.
+func NewEdgeField(g *graph.Graph, values []float64) (*EdgeField, error) {
+	if len(values) != g.NumEdges() {
+		return nil, fmt.Errorf("core: %d values for %d edges", len(values), g.NumEdges())
+	}
+	for i, v := range values {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("core: NaN scalar at edge %d", i)
+		}
+	}
+	return &EdgeField{G: g, Values: values}, nil
+}
+
+// MustEdgeField is NewEdgeField that panics on error.
+func MustEdgeField(g *graph.Graph, values []float64) *EdgeField {
+	f, err := NewEdgeField(g, values)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Min returns the minimum scalar value, or +Inf for an empty field.
+func (f *EdgeField) Min() float64 { return minOf(f.Values) }
+
+// Max returns the maximum scalar value, or -Inf for an empty field.
+func (f *EdgeField) Max() float64 { return maxOf(f.Values) }
+
+func minOf(vs []float64) float64 {
+	m := math.Inf(1)
+	for _, v := range vs {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func maxOf(vs []float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/unionfind"
+)
+
+// parallelSweepOrder computes the same decreasing-scalar sweep order as
+// sweepOrder using a parallel merge sort: the index range is split into
+// GOMAXPROCS shards, each shard is sorted independently, and sorted
+// shards are pairwise merged. The comparison (scalar descending, ID
+// ascending on ties) is identical, so the result is bit-for-bit equal
+// to the serial order.
+//
+// Section II-B's complexity analysis makes the sort the asymptotic
+// bottleneck of Algorithm 1 — O(|V|·log|V|) against the union-find
+// sweep's near-linear O(|E|·α(|V|)) — so on Table II-scale graphs
+// parallelizing the sort attacks the dominant term.
+// BenchmarkAblationParallelSort quantifies the gain.
+func parallelSweepOrder(values []float64) []int32 {
+	n := len(values)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 || n < 4096 {
+		sortChunk(order, values)
+		return order
+	}
+
+	// Sort shards in parallel.
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	bounds := make([][2]int, 0, workers)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sortChunk(order[lo:hi], values)
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Pairwise merge until one run remains.
+	buf := make([]int32, n)
+	for len(bounds) > 1 {
+		var next [][2]int
+		var mwg sync.WaitGroup
+		for i := 0; i+1 < len(bounds); i += 2 {
+			a, b := bounds[i], bounds[i+1]
+			next = append(next, [2]int{a[0], b[1]})
+			mwg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mwg.Done()
+				mergeRuns(order, buf, values, lo, mid, hi)
+			}(a[0], a[1], b[1])
+		}
+		if len(bounds)%2 == 1 {
+			next = append(next, bounds[len(bounds)-1])
+		}
+		mwg.Wait()
+		bounds = next
+	}
+	return order
+}
+
+// sortChunk sorts one shard of the order slice with the sweep
+// comparison.
+func sortChunk(order []int32, values []float64) {
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := values[order[a]], values[order[b]]
+		if va != vb {
+			return va > vb
+		}
+		return order[a] < order[b]
+	})
+}
+
+// mergeRuns merges the sorted runs order[lo:mid] and order[mid:hi]
+// through buf.
+func mergeRuns(order, buf []int32, values []float64, lo, mid, hi int) {
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		a, b := order[i], order[j]
+		va, vb := values[a], values[b]
+		if va > vb || (va == vb && a < b) {
+			buf[k] = a
+			i++
+		} else {
+			buf[k] = b
+			j++
+		}
+		k++
+	}
+	copy(buf[k:], order[i:mid])
+	k += mid - i
+	copy(buf[k:], order[j:hi])
+	copy(order[lo:hi], buf[lo:hi])
+}
+
+// BuildVertexTreeParallelSort is BuildVertexTree with the sweep order
+// computed by parallel merge sort. The union-find sweep itself is
+// inherently sequential (each step depends on the components formed so
+// far), so this parallelizes exactly the term the paper's complexity
+// analysis identifies as dominant. The resulting tree is identical to
+// BuildVertexTree's.
+func BuildVertexTreeParallelSort(f *VertexField) *Tree {
+	n := f.G.NumVertices()
+	t := &Tree{
+		Parent: make([]int32, n),
+		Scalar: make([]float64, n),
+		Order:  parallelSweepOrder(f.Values),
+	}
+	copy(t.Scalar, f.Values)
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	dsu := newTreeSweep(n)
+	for _, vi := range t.Order {
+		dsu.step(t, f.G.Neighbors(vi), vi)
+	}
+	return t
+}
+
+// treeSweep bundles the union-find sweep state shared by the tree
+// builders.
+type treeSweep struct {
+	dsu       *unionfind.DSU
+	compRoot  []int32
+	processed []bool
+}
+
+// newTreeSweep allocates sweep state over n items.
+func newTreeSweep(n int) *treeSweep {
+	s := &treeSweep{
+		dsu:       unionfind.New(n),
+		compRoot:  make([]int32, n),
+		processed: make([]bool, n),
+	}
+	for i := range s.compRoot {
+		s.compRoot[i] = int32(i)
+	}
+	return s
+}
+
+// step processes one vertex of the descending sweep.
+func (s *treeSweep) step(t *Tree, neighbors []int32, vi int32) {
+	for _, vj := range neighbors {
+		if !s.processed[vj] {
+			continue
+		}
+		ri, rj := s.dsu.Find(int(vi)), s.dsu.Find(int(vj))
+		if ri == rj {
+			continue
+		}
+		t.Parent[s.compRoot[rj]] = vi
+		s.dsu.Union(ri, rj)
+		s.compRoot[s.dsu.Find(int(vi))] = vi
+	}
+	s.processed[vi] = true
+}

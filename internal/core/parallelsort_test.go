@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randomFieldFor(seed int64, n int, p float64, distinct bool) *VertexField {
+	rng := rand.New(rand.NewSource(seed))
+	// Sample the expected edge count directly instead of flipping a
+	// coin per pair, so large sparse fixtures stay O(|E|).
+	m := int(p * float64(n) * float64(n-1) / 2)
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u, v := rng.Int31n(int32(n)), rng.Int31n(int32(n))
+		if u != v {
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	g := graph.FromEdges(n, edges)
+	values := make([]float64, n)
+	for i := range values {
+		if distinct {
+			values[i] = rng.Float64()
+		} else {
+			values[i] = float64(rng.Intn(6))
+		}
+	}
+	return MustVertexField(g, values)
+}
+
+func TestParallelSweepOrderMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// Above and below the 4096 parallel cutoff, with heavy ties.
+		for _, n := range []int{100, 5000, 10000} {
+			values := make([]float64, n)
+			for i := range values {
+				values[i] = float64(rng.Intn(7))
+			}
+			serial := sweepOrder(values)
+			par := parallelSweepOrder(values)
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("seed %d n=%d: parallel sweep order diverges", seed, n)
+			}
+		}
+	}
+}
+
+func TestBuildVertexTreeParallelSortEquivalent(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		for _, distinct := range []bool{true, false} {
+			f := randomFieldFor(seed, 200, 0.03, distinct)
+			a := BuildVertexTree(f)
+			b := BuildVertexTreeParallelSort(f)
+			if !reflect.DeepEqual(a.Parent, b.Parent) {
+				t.Fatalf("seed %d distinct=%v: parallel-sort tree differs", seed, distinct)
+			}
+			if !reflect.DeepEqual(a.Order, b.Order) {
+				t.Fatalf("seed %d distinct=%v: sweep orders differ", seed, distinct)
+			}
+		}
+	}
+}
+
+func TestBuildVertexTreeParallelSortLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large input")
+	}
+	// Cross the parallel threshold and verify the super tree still
+	// satisfies every invariant.
+	f := randomFieldFor(1, 6000, 0.001, false)
+	tree := BuildVertexTreeParallelSort(f)
+	st := Postprocess(tree)
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ref := Postprocess(BuildVertexTree(f))
+	if st.Len() != ref.Len() {
+		t.Fatalf("super tree sizes differ: %d vs %d", st.Len(), ref.Len())
+	}
+}
+
+func BenchmarkAblationSerialSort(b *testing.B) {
+	f := randomFieldFor(3, 200000, 0.00002, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweepOrder(f.Values)
+	}
+}
+
+func BenchmarkAblationParallelSort(b *testing.B) {
+	f := randomFieldFor(3, 200000, 0.00002, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parallelSweepOrder(f.Values)
+	}
+}
+
+func BenchmarkAblationTreeSerialVsParallelSort(b *testing.B) {
+	f := randomFieldFor(3, 100000, 0.00005, true)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BuildVertexTree(f)
+		}
+	})
+	b.Run("parallel-sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BuildVertexTreeParallelSort(f)
+		}
+	})
+}
+
+func TestParallelSweepOrderMultiWorkerPath(t *testing.T) {
+	// Force several workers even on single-CPU machines so the shard
+	// + merge path runs; results must be bit-identical to serial.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{4096, 9999, 20000} {
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = float64(rng.Intn(9))
+		}
+		if !reflect.DeepEqual(sweepOrder(values), parallelSweepOrder(values)) {
+			t.Fatalf("n=%d: sharded sweep order diverges", n)
+		}
+	}
+	f := randomFieldFor(9, 8000, 0.0004, false)
+	a := BuildVertexTree(f)
+	b := BuildVertexTreeParallelSort(f)
+	if !reflect.DeepEqual(a.Parent, b.Parent) {
+		t.Fatal("sharded-sort tree differs from serial")
+	}
+}

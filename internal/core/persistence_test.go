@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// twoPeakField: a path whose scalars rise to 10 (vertices 0..2), dip
+// to 1 (vertex 3), rise to 6 (vertices 4..6): two peaks of heights 10
+// and 6 merging at 1.
+func twoPeakField() *VertexField {
+	b := graph.NewBuilder(7)
+	for i := 0; i < 6; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return MustVertexField(b.Build(), []float64{8, 10, 9, 1, 5, 6, 4})
+}
+
+func TestPersistencesTwoPeaks(t *testing.T) {
+	st := VertexSuperTree(twoPeakField())
+	pp := Persistences(st)
+	if len(pp) != 2 {
+		t.Fatalf("got %d branches, want 2 (leaves of the merge tree)", len(pp))
+	}
+	// Most persistent branch: the height-10 peak, dying at the global
+	// minimum 1.
+	if pp[0].Birth != 10 || pp[0].Death != 1 {
+		t.Errorf("main branch birth/death = %g/%g, want 10/1", pp[0].Birth, pp[0].Death)
+	}
+	// Secondary branch: the height-6 peak, dying when it merges at 1.
+	if pp[1].Birth != 6 {
+		t.Errorf("secondary branch birth = %g, want 6", pp[1].Birth)
+	}
+	if pp[1].Death != 1 {
+		t.Errorf("secondary branch death = %g, want 1 (merge at the dip)", pp[1].Death)
+	}
+	if pp[0].Persistence() < pp[1].Persistence() {
+		t.Error("branches not sorted by persistence")
+	}
+}
+
+func TestPersistencesSinglePeak(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	st := VertexSuperTree(MustVertexField(b.Build(), []float64{3, 2, 1}))
+	pp := Persistences(st)
+	if len(pp) != 1 {
+		t.Fatalf("got %d branches, want 1", len(pp))
+	}
+	if pp[0].Birth != 3 || pp[0].Death != 1 {
+		t.Errorf("branch = %+v, want birth 3 death 1", pp[0])
+	}
+}
+
+func TestPersistencesEmptyTree(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	st := VertexSuperTree(MustVertexField(g, nil))
+	if pp := Persistences(st); pp != nil {
+		t.Errorf("persistence of empty tree = %v", pp)
+	}
+}
+
+func TestPersistencesForest(t *testing.T) {
+	// Two disconnected paths: each contributes its own main branch.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	st := VertexSuperTree(MustVertexField(b.Build(), []float64{5, 2, 9, 4}))
+	pp := Persistences(st)
+	if len(pp) != 2 {
+		t.Fatalf("got %d branches, want 2", len(pp))
+	}
+	if pp[0].Birth != 9 || pp[1].Birth != 5 {
+		t.Errorf("births = %g, %g; want 9, 5", pp[0].Birth, pp[1].Birth)
+	}
+}
+
+func TestPersistencesCountEqualsLeaves(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		f := randomField(seed, 60, 2.0, 8)
+		st := VertexSuperTree(f)
+		leaves := 0
+		ch := st.Children()
+		for s := 0; s < st.Len(); s++ {
+			if len(ch[s]) == 0 {
+				leaves++
+			}
+		}
+		if got := len(Persistences(st)); got != leaves {
+			t.Fatalf("seed %d: %d branches for %d leaves", seed, got, leaves)
+		}
+	}
+}
+
+func TestPersistencesNonNegative(t *testing.T) {
+	for seed := int64(20); seed < 30; seed++ {
+		f := randomField(seed, 50, 2.0, 10)
+		for _, pp := range Persistences(VertexSuperTree(f)) {
+			if pp.Persistence() < 0 {
+				t.Fatalf("seed %d: negative persistence %+v", seed, pp)
+			}
+			if pp.Birth < pp.Death {
+				t.Fatalf("seed %d: birth below death %+v", seed, pp)
+			}
+		}
+	}
+}
+
+func TestPersistenceSimplifyRemovesSmallPeak(t *testing.T) {
+	// Two peaks of persistence 9 and 5; threshold 6 should flatten the
+	// small one and keep the big one.
+	f := twoPeakField()
+	simp := PersistenceSimplify(f, 6)
+	// Vertex 5 (the small peak top, scalar 6) must be clamped to the
+	// death value 1.
+	if simp.Values[5] > 1 {
+		t.Errorf("small peak top still at %g, want clamped to 1", simp.Values[5])
+	}
+	// The big peak is untouched.
+	if simp.Values[1] != 10 {
+		t.Errorf("big peak top changed to %g", simp.Values[1])
+	}
+	// Resulting terrain has one branch above threshold.
+	st := VertexSuperTree(simp)
+	pp := Persistences(st)
+	big := 0
+	for _, p := range pp {
+		if p.Persistence() >= 6 {
+			big++
+		}
+	}
+	if big != 1 {
+		t.Errorf("%d persistent branches after simplify, want 1", big)
+	}
+}
+
+func TestPersistenceSimplifyIdempotentAtZero(t *testing.T) {
+	f := twoPeakField()
+	simp := PersistenceSimplify(f, 0)
+	for v := range f.Values {
+		if simp.Values[v] != f.Values[v] {
+			t.Fatalf("threshold 0 changed vertex %d: %g -> %g", v, f.Values[v], simp.Values[v])
+		}
+	}
+}
+
+func TestPersistenceSimplifyMonotone(t *testing.T) {
+	// Simplification never raises values.
+	for seed := int64(0); seed < 8; seed++ {
+		f := randomField(seed, 50, 2.0, 12)
+		simp := PersistenceSimplify(f, 3)
+		for v := range f.Values {
+			if simp.Values[v] > f.Values[v] {
+				t.Fatalf("seed %d: vertex %d raised %g -> %g", seed, v, f.Values[v], simp.Values[v])
+			}
+		}
+	}
+}
+
+func TestPersistenceSimplifyReducesPeakCount(t *testing.T) {
+	f := randomField(7, 200, 2.0, 40)
+	before := VertexSuperTree(f)
+	after := VertexSuperTree(PersistenceSimplify(f, 10))
+	countHigh := func(st *SuperTree) int {
+		n := 0
+		for _, pp := range Persistences(st) {
+			if pp.Persistence() >= 10 {
+				n++
+			}
+		}
+		return n
+	}
+	b, a := len(Persistences(before)), len(Persistences(after))
+	if a > b {
+		t.Errorf("simplification increased branch count %d -> %d", b, a)
+	}
+	// No branch of persistence in (0, 10) should survive... weaker,
+	// robust check: high-persistence count does not grow.
+	if countHigh(after) > countHigh(before) {
+		t.Error("simplification created new persistent branches")
+	}
+}
+
+func TestMaxTopOf(t *testing.T) {
+	st := VertexSuperTree(twoPeakField())
+	roots := st.Roots()
+	if len(roots) != 1 {
+		t.Fatal("want single root")
+	}
+	if got := maxTopOf(st, roots[0]); math.Abs(got-10) > 1e-12 {
+		t.Errorf("maxTopOf(root) = %g, want 10", got)
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Scalar trees travel between the construction tool and the
+// visualization tool in the paper's pipeline (Table II's tv explicitly
+// includes "the time cost for the visualization software to read the
+// scalar tree"). This file gives SuperTree a compact binary format:
+//
+//	magic "SFST" | version u8 |
+//	numSuper u32 | numItems u32 |
+//	parents  []i32 (numSuper)  |
+//	scalars  []f64 (numSuper)  |
+//	nodeOf   []i32 (numItems)
+//
+// Members are reconstructed from nodeOf, so the encoding is
+// O(numSuper + numItems) with no redundancy.
+
+const (
+	treeMagic   = "SFST"
+	treeVersion = 1
+)
+
+// WriteTo serializes the super tree in the binary format above.
+func (st *SuperTree) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.WriteString(treeMagic)); err != nil {
+		return n, err
+	}
+	if err := bw.WriteByte(treeVersion); err != nil {
+		return n, err
+	}
+	n++
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(uint32(st.Len())); err != nil {
+		return n, err
+	}
+	if err := write(uint32(st.NumItems())); err != nil {
+		return n, err
+	}
+	if err := write(st.Parent); err != nil {
+		return n, err
+	}
+	if err := write(st.Scalar); err != nil {
+		return n, err
+	}
+	if err := write(st.NodeOf); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadSuperTree deserializes a super tree written by WriteTo and
+// validates it before returning.
+func ReadSuperTree(r io.Reader) (*SuperTree, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading tree magic: %w", err)
+	}
+	if string(magic) != treeMagic {
+		return nil, fmt.Errorf("core: bad magic %q, want %q", magic, treeMagic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading tree version: %w", err)
+	}
+	if version != treeVersion {
+		return nil, fmt.Errorf("core: unsupported tree version %d", version)
+	}
+	var numSuper, numItems uint32
+	if err := binary.Read(br, binary.LittleEndian, &numSuper); err != nil {
+		return nil, fmt.Errorf("core: reading tree header: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &numItems); err != nil {
+		return nil, fmt.Errorf("core: reading tree header: %w", err)
+	}
+	const maxReasonable = 1 << 30
+	if numSuper > maxReasonable || numItems > maxReasonable {
+		return nil, fmt.Errorf("core: implausible tree sizes %d/%d", numSuper, numItems)
+	}
+	// Arrays are read in bounded chunks so a hostile header cannot
+	// force a huge allocation before any payload bytes arrive.
+	st := &SuperTree{}
+	var err2 error
+	if st.Parent, err2 = readInt32s(br, int(numSuper)); err2 != nil {
+		return nil, fmt.Errorf("core: reading parents: %w", err2)
+	}
+	if st.Scalar, err2 = readFloat64s(br, int(numSuper)); err2 != nil {
+		return nil, fmt.Errorf("core: reading scalars: %w", err2)
+	}
+	if st.NodeOf, err2 = readInt32s(br, int(numItems)); err2 != nil {
+		return nil, fmt.Errorf("core: reading item mapping: %w", err2)
+	}
+	st.Members = make([][]int32, numSuper)
+	// Rebuild members from nodeOf (ascending item order falls out).
+	for item, s := range st.NodeOf {
+		if s < 0 || s >= int32(numSuper) {
+			return nil, fmt.Errorf("core: item %d maps to invalid super node %d", item, s)
+		}
+		st.Members[s] = append(st.Members[s], int32(item))
+	}
+	if err := st.Validate(); err != nil {
+		return nil, fmt.Errorf("core: deserialized tree invalid: %w", err)
+	}
+	return st, nil
+}
+
+// readInt32s reads exactly n little-endian int32 values, growing the
+// result as data actually arrives so memory stays proportional to the
+// bytes read rather than the declared count.
+func readInt32s(r io.Reader, n int) ([]int32, error) {
+	const chunk = 1 << 15
+	first := n
+	if first > chunk {
+		first = chunk
+	}
+	out := make([]int32, 0, first)
+	buf := make([]int32, first)
+	for len(out) < n {
+		k := n - len(out)
+		if k > len(buf) {
+			k = len(buf)
+		}
+		if err := binary.Read(r, binary.LittleEndian, buf[:k]); err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:k]...)
+	}
+	return out, nil
+}
+
+// readFloat64s is readInt32s for float64 payloads.
+func readFloat64s(r io.Reader, n int) ([]float64, error) {
+	const chunk = 1 << 14
+	first := n
+	if first > chunk {
+		first = chunk
+	}
+	out := make([]float64, 0, first)
+	buf := make([]float64, first)
+	for len(out) < n {
+		k := n - len(out)
+		if k > len(buf) {
+			k = len(buf)
+		}
+		if err := binary.Read(r, binary.LittleEndian, buf[:k]); err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:k]...)
+	}
+	return out, nil
+}

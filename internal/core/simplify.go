@@ -1,0 +1,86 @@
+package core
+
+import "math"
+
+// Discretize quantizes a scalar field into the given number of bins,
+// implementing the paper's terrain "Simplification" feature
+// (Section II-E): similar scalar values collapse to the same value, so
+// the postprocessed super tree has far fewer nodes and renders faster.
+//
+// Each value maps to the midpoint of its bin, preserving order
+// (v1 <= v2 implies q(v1) <= q(v2)), so the simplified tree is a
+// coarsening of the original: every simplified component is a union of
+// original components. bins must be >= 1.
+func Discretize(values []float64, bins int) []float64 {
+	if bins < 1 {
+		panic("core: Discretize requires bins >= 1")
+	}
+	out := make([]float64, len(values))
+	lo, hi := minOf(values), maxOf(values)
+	if len(values) == 0 || lo == hi {
+		copy(out, values)
+		return out
+	}
+	width := (hi - lo) / float64(bins)
+	for i, v := range values {
+		b := int((v - lo) / width)
+		if b >= bins { // v == hi lands one past the last bin
+			b = bins - 1
+		}
+		out[i] = lo + (float64(b)+0.5)*width
+	}
+	return out
+}
+
+// SimplifyVertexField returns a copy of f with its values discretized
+// into the given number of bins.
+func SimplifyVertexField(f *VertexField, bins int) *VertexField {
+	return &VertexField{G: f.G, Values: Discretize(f.Values, bins)}
+}
+
+// SimplifyEdgeField returns a copy of f with its values discretized
+// into the given number of bins.
+func SimplifyEdgeField(f *EdgeField, bins int) *EdgeField {
+	return &EdgeField{G: f.G, Values: Discretize(f.Values, bins)}
+}
+
+// DiscretizeLog quantizes positive scalar values into logarithmically
+// spaced bins, which suits heavy-tailed fields such as degree or
+// k-core number on scale-free graphs: linear bins would collapse the
+// long tail of small values into one bin while wasting bins on the few
+// huge hubs. Non-positive values are clamped to the smallest bin.
+func DiscretizeLog(values []float64, bins int) []float64 {
+	if bins < 1 {
+		panic("core: DiscretizeLog requires bins >= 1")
+	}
+	out := make([]float64, len(values))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v > 0 {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if len(values) == 0 || math.IsInf(lo, 1) || lo == hi {
+		copy(out, values)
+		return out
+	}
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	width := (logHi - logLo) / float64(bins)
+	for i, v := range values {
+		if v <= lo {
+			out[i] = math.Exp(logLo + 0.5*width)
+			continue
+		}
+		b := int((math.Log(v) - logLo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		out[i] = math.Exp(logLo + (float64(b)+0.5)*width)
+	}
+	return out
+}

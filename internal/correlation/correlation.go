@@ -1,0 +1,153 @@
+// Package correlation implements the paper's multi-scalar analysis
+// (Section II-F): the Local Correlation Index (LCI) of two scalar
+// fields over each vertex's k-hop neighborhood, the Global Correlation
+// Index (GCI) averaging LCI over the graph, and the outlier score
+// -LCI(v) used in Section III-C to surface neighborhoods whose local
+// correlation contradicts the global trend.
+package correlation
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Options configures LCI computation.
+type Options struct {
+	// Hops is the neighborhood radius; the paper fixes this to 1 for
+	// all experiments. Values below 1 are treated as 1.
+	Hops int
+}
+
+// LCI computes the Local Correlation Index of scalar fields si and sj
+// at every vertex: the Pearson correlation of the two fields restricted
+// to the vertex's k-hop neighborhood N(v) (including v itself, matching
+// the paper's averaging over u ∈ N(v)).
+//
+// Degenerate neighborhoods — fewer than two vertices, or zero variance
+// in either field — yield LCI 0, a neutral value that neither inflates
+// nor deflates GCI.
+func LCI(g *graph.Graph, si, sj []float64, opts Options) ([]float64, error) {
+	n := g.NumVertices()
+	if len(si) != n || len(sj) != n {
+		return nil, fmt.Errorf("correlation: field lengths %d, %d for %d vertices", len(si), len(sj), n)
+	}
+	hops := opts.Hops
+	if hops < 1 {
+		hops = 1
+	}
+	out := make([]float64, n)
+	for v := int32(0); v < int32(n); v++ {
+		var hood []int32
+		if hops == 1 {
+			nbrs := g.Neighbors(v)
+			hood = make([]int32, 0, len(nbrs)+1)
+			hood = append(hood, v)
+			hood = append(hood, nbrs...)
+		} else {
+			hood = graph.KHopNeighborhood(g, v, hops)
+		}
+		out[v] = pearsonOver(hood, si, sj)
+	}
+	return out, nil
+}
+
+// pearsonOver computes the Pearson correlation of si and sj over the
+// given vertex set, returning 0 when undefined.
+func pearsonOver(hood []int32, si, sj []float64) float64 {
+	if len(hood) < 2 {
+		return 0
+	}
+	inv := 1 / float64(len(hood))
+	var mi, mj float64
+	for _, u := range hood {
+		mi += si[u]
+		mj += sj[u]
+	}
+	mi *= inv
+	mj *= inv
+	var covIJ, covII, covJJ float64
+	for _, u := range hood {
+		di, dj := si[u]-mi, sj[u]-mj
+		covIJ += di * dj
+		covII += di * di
+		covJJ += dj * dj
+	}
+	if covII == 0 || covJJ == 0 {
+		return 0
+	}
+	return covIJ / (math.Sqrt(covII) * math.Sqrt(covJJ))
+}
+
+// GCI computes the Global Correlation Index: the mean LCI over all
+// vertices, the paper's summary of how two fields co-vary graph-wide.
+func GCI(g *graph.Graph, si, sj []float64, opts Options) (float64, error) {
+	lci, err := LCI(g, si, sj, opts)
+	if err != nil {
+		return 0, err
+	}
+	if len(lci) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for _, v := range lci {
+		sum += v
+	}
+	return sum / float64(len(lci)), nil
+}
+
+// OutlierScores returns -LCI(v) for every vertex, the paper's outlier
+// score: vertices whose local correlation opposes a positive global
+// trend score high, surfacing bridge-like nodes (Section III-C).
+func OutlierScores(lci []float64) []float64 {
+	out := make([]float64, len(lci))
+	for i, v := range lci {
+		out[i] = -v
+	}
+	return out
+}
+
+// EdgeLCI adapts the Local Correlation Index to edge-based scalar
+// fields, as the paper notes the method "can easily be adapted": the
+// neighborhood of an edge e is e together with all edges sharing an
+// endpoint with it.
+func EdgeLCI(g *graph.Graph, si, sj []float64) ([]float64, error) {
+	m := g.NumEdges()
+	if len(si) != m || len(sj) != m {
+		return nil, fmt.Errorf("correlation: field lengths %d, %d for %d edges", len(si), len(sj), m)
+	}
+	out := make([]float64, m)
+	var hood []int32
+	for e := int32(0); e < int32(m); e++ {
+		ed := g.Edge(e)
+		hood = hood[:0]
+		hood = append(hood, e)
+		for _, x := range g.IncidentEdges(ed.U) {
+			if x != e {
+				hood = append(hood, x)
+			}
+		}
+		for _, x := range g.IncidentEdges(ed.V) {
+			if x != e {
+				hood = append(hood, x)
+			}
+		}
+		out[e] = pearsonOver(hood, si, sj)
+	}
+	return out, nil
+}
+
+// Pearson computes the plain (global, non-neighborhood) Pearson
+// correlation of two equal-length samples; used by the experiment
+// harness to sanity-check GCI against the field-wide correlation.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	idx := make([]int32, len(a))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return pearsonOver(idx, a, b)
+}

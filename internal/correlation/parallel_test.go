@@ -1,0 +1,117 @@
+package correlation
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randomFieldGraph(seed int64, n int, p float64) (*graph.Graph, []float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for u := int32(0); u < int32(n); u++ {
+		for v := u + 1; v < int32(n); v++ {
+			if rng.Float64() < p {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	g := graph.FromEdges(n, edges)
+	si := make([]float64, n)
+	sj := make([]float64, n)
+	for i := range si {
+		si[i] = rng.NormFloat64()
+		sj[i] = 0.4*si[i] + 0.6*rng.NormFloat64()
+	}
+	return g, si, sj
+}
+
+func TestParallelLCIMatchesSequential(t *testing.T) {
+	for _, hops := range []int{1, 2} {
+		for seed := int64(0); seed < 3; seed++ {
+			g, si, sj := randomFieldGraph(seed, 80, 0.08)
+			seq, err := LCI(g, si, sj, Options{Hops: hops})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := ParallelLCI(g, si, sj, Options{Hops: hops})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range seq {
+				if seq[v] != par[v] {
+					t.Fatalf("hops=%d seed %d: LCI(%d) parallel %g != sequential %g",
+						hops, seed, v, par[v], seq[v])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelGCIMatchesSequential(t *testing.T) {
+	g, si, sj := randomFieldGraph(7, 60, 0.1)
+	seq, err := GCI(g, si, sj, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParallelGCI(g, si, sj, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Fatalf("GCI parallel %g != sequential %g", par, seq)
+	}
+}
+
+func TestParallelLCIRejectsBadLengths(t *testing.T) {
+	g, si, _ := randomFieldGraph(1, 10, 0.3)
+	if _, err := ParallelLCI(g, si, si[:5], Options{}); err == nil {
+		t.Fatal("want error for mismatched field lengths")
+	}
+}
+
+func BenchmarkLCISequential(b *testing.B) {
+	g, si, sj := randomFieldGraph(3, 2000, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LCI(g, si, sj, Options{Hops: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLCIParallel(b *testing.B) {
+	g, si, sj := randomFieldGraph(3, 2000, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParallelLCI(g, si, sj, Options{Hops: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestParallelLCIMultiWorkerPath(t *testing.T) {
+	// Force multiple workers even on single-CPU machines so the
+	// sharded path is exercised (goroutines time-slice on one core;
+	// the result must still be bit-identical).
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	for _, hops := range []int{1, 3} {
+		g, si, sj := randomFieldGraph(17, 120, 0.06)
+		seq, err := LCI(g, si, sj, Options{Hops: hops})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ParallelLCI(g, si, sj, Options{Hops: hops})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range seq {
+			if seq[v] != par[v] {
+				t.Fatalf("hops=%d: sharded LCI(%d) %g != %g", hops, v, par[v], seq[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteFieldsCSV writes one or more equal-length scalar fields as CSV:
+// a header row of field names, then one row per item (vertex or edge)
+// with the item index in an implicit leading "id" column. Fields are
+// written in the order given so callers control column order.
+func WriteFieldsCSV(w io.Writer, names []string, fields [][]float64) error {
+	if len(names) != len(fields) {
+		return fmt.Errorf("graph: %d names for %d fields", len(names), len(fields))
+	}
+	if len(fields) == 0 {
+		return fmt.Errorf("graph: no fields to write")
+	}
+	n := len(fields[0])
+	for i, f := range fields {
+		if len(f) != n {
+			return fmt.Errorf("graph: field %q has %d values, want %d", names[i], len(f), n)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"id"}, names...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i := 0; i < n; i++ {
+		row[0] = strconv.Itoa(i)
+		for j, f := range fields {
+			row[j+1] = formatFloat(f[i])
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadFieldsCSV parses CSV written by WriteFieldsCSV (or any CSV whose
+// first column is a 0-based contiguous item index and whose remaining
+// columns are numeric). Rows may arrive in any order; every index in
+// [0, rows) must appear exactly once.
+func ReadFieldsCSV(r io.Reader) (names []string, fields [][]float64, err error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: reading fields CSV: %w", err)
+	}
+	if len(records) < 1 {
+		return nil, nil, fmt.Errorf("graph: fields CSV is empty")
+	}
+	header := records[0]
+	if len(header) < 2 {
+		return nil, nil, fmt.Errorf("graph: fields CSV needs an id column and at least one field")
+	}
+	names = header[1:]
+	rows := len(records) - 1
+	fields = make([][]float64, len(names))
+	for j := range fields {
+		fields[j] = make([]float64, rows)
+	}
+	seen := make([]bool, rows)
+	for lineNo, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, nil, fmt.Errorf("graph: fields CSV row %d has %d columns, want %d", lineNo+2, len(rec), len(header))
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil || id < 0 || id >= rows {
+			return nil, nil, fmt.Errorf("graph: fields CSV row %d: bad id %q", lineNo+2, rec[0])
+		}
+		if seen[id] {
+			return nil, nil, fmt.Errorf("graph: fields CSV row %d: duplicate id %d", lineNo+2, id)
+		}
+		seen[id] = true
+		for j := range names {
+			v, err := strconv.ParseFloat(rec[j+1], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("graph: fields CSV row %d field %q: %v", lineNo+2, names[j], err)
+			}
+			fields[j][id] = v
+		}
+	}
+	return names, fields, nil
+}

@@ -1,0 +1,408 @@
+package graph
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file implements two attribute-preserving interchange formats
+// for scalar graphs: GraphML (the XML format understood by Gephi,
+// yEd, NetworkX, igraph) and the node-link JSON convention used by
+// d3-force and NetworkX's json_graph. Unlike the plain SNAP edge list,
+// both carry the scalar fields alongside the topology, so a scalar
+// graph can round-trip through external tools without a side channel.
+
+// graphML mirrors the GraphML document structure for encoding/xml.
+type graphML struct {
+	XMLName xml.Name     `xml:"graphml"`
+	Xmlns   string       `xml:"xmlns,attr"`
+	Keys    []graphMLKey `xml:"key"`
+	Graph   graphMLGraph `xml:"graph"`
+}
+
+type graphMLKey struct {
+	ID       string `xml:"id,attr"`
+	For      string `xml:"for,attr"`
+	AttrName string `xml:"attr.name,attr"`
+	AttrType string `xml:"attr.type,attr"`
+}
+
+type graphMLGraph struct {
+	ID          string        `xml:"id,attr"`
+	EdgeDefault string        `xml:"edgedefault,attr"`
+	Nodes       []graphMLNode `xml:"node"`
+	Edges       []graphMLEdge `xml:"edge"`
+}
+
+type graphMLNode struct {
+	ID   string        `xml:"id,attr"`
+	Data []graphMLData `xml:"data"`
+}
+
+type graphMLEdge struct {
+	Source string        `xml:"source,attr"`
+	Target string        `xml:"target,attr"`
+	Data   []graphMLData `xml:"data"`
+}
+
+type graphMLData struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// WriteGraphML writes g and its scalar fields as a GraphML document.
+// vertexFields and edgeFields map field names to per-vertex and
+// per-edge (canonical edge ID order) values; either may be nil. Field
+// names are emitted in sorted order so output is deterministic.
+func WriteGraphML(w io.Writer, g *Graph, vertexFields, edgeFields map[string][]float64) error {
+	for name, f := range vertexFields {
+		if len(f) != g.NumVertices() {
+			return fmt.Errorf("graph: vertex field %q has %d values for %d vertices", name, len(f), g.NumVertices())
+		}
+	}
+	for name, f := range edgeFields {
+		if len(f) != g.NumEdges() {
+			return fmt.Errorf("graph: edge field %q has %d values for %d edges", name, len(f), g.NumEdges())
+		}
+	}
+	doc := graphML{
+		Xmlns: "http://graphml.graphdrawing.org/xmlns",
+		Graph: graphMLGraph{ID: "G", EdgeDefault: "undirected"},
+	}
+	vNames := sortedNames(vertexFields)
+	eNames := sortedNames(edgeFields)
+	vKey := make(map[string]string, len(vNames))
+	eKey := make(map[string]string, len(eNames))
+	for i, name := range vNames {
+		id := fmt.Sprintf("dv%d", i)
+		vKey[name] = id
+		doc.Keys = append(doc.Keys, graphMLKey{ID: id, For: "node", AttrName: name, AttrType: "double"})
+	}
+	for i, name := range eNames {
+		id := fmt.Sprintf("de%d", i)
+		eKey[name] = id
+		doc.Keys = append(doc.Keys, graphMLKey{ID: id, For: "edge", AttrName: name, AttrType: "double"})
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		node := graphMLNode{ID: "n" + strconv.Itoa(v)}
+		for _, name := range vNames {
+			node.Data = append(node.Data, graphMLData{
+				Key:   vKey[name],
+				Value: formatFloat(vertexFields[name][v]),
+			})
+		}
+		doc.Graph.Nodes = append(doc.Graph.Nodes, node)
+	}
+	for id, e := range g.Edges() {
+		edge := graphMLEdge{
+			Source: "n" + strconv.Itoa(int(e.U)),
+			Target: "n" + strconv.Itoa(int(e.V)),
+		}
+		for _, name := range eNames {
+			edge.Data = append(edge.Data, graphMLData{
+				Key:   eKey[name],
+				Value: formatFloat(edgeFields[name][id]),
+			})
+		}
+		doc.Graph.Edges = append(doc.Graph.Edges, edge)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("graph: encoding GraphML: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ReadGraphML parses a GraphML document written by WriteGraphML or a
+// compatible tool. Node IDs may be arbitrary strings; they are
+// compacted in document order. Only double/float/int/long attributes
+// are decoded into fields; attributes of other types are ignored.
+// Self-loops are dropped; for duplicate edges the last occurrence's
+// attribute values win.
+func ReadGraphML(r io.Reader) (*Graph, map[string][]float64, map[string][]float64, error) {
+	var doc graphML
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, nil, nil, fmt.Errorf("graph: decoding GraphML: %w", err)
+	}
+	numericKind := map[string]bool{"double": true, "float": true, "int": true, "long": true}
+	vKeyName := map[string]string{}
+	eKeyName := map[string]string{}
+	for _, k := range doc.Keys {
+		if !numericKind[k.AttrType] {
+			continue
+		}
+		name := k.AttrName
+		if name == "" {
+			name = k.ID
+		}
+		switch k.For {
+		case "node", "all":
+			vKeyName[k.ID] = name
+		}
+		switch k.For {
+		case "edge", "all":
+			eKeyName[k.ID] = name
+		}
+	}
+
+	idOf := make(map[string]int32, len(doc.Graph.Nodes))
+	for _, n := range doc.Graph.Nodes {
+		if _, dup := idOf[n.ID]; dup {
+			return nil, nil, nil, fmt.Errorf("graph: duplicate GraphML node id %q", n.ID)
+		}
+		idOf[n.ID] = int32(len(idOf))
+	}
+	n := len(idOf)
+
+	vertexFields := map[string][]float64{}
+	for i, node := range doc.Graph.Nodes {
+		for _, d := range node.Data {
+			name, ok := vKeyName[d.Key]
+			if !ok {
+				continue
+			}
+			val, err := strconv.ParseFloat(d.Value, 64)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("graph: node %q field %q: %v", node.ID, name, err)
+			}
+			f := vertexFields[name]
+			if f == nil {
+				f = make([]float64, n)
+				vertexFields[name] = f
+			}
+			f[i] = val
+		}
+	}
+
+	type edgeVal struct {
+		e      Edge
+		fields map[string]float64
+	}
+	parsed := make([]edgeVal, 0, len(doc.Graph.Edges))
+	b := NewBuilder(n)
+	for _, e := range doc.Graph.Edges {
+		u, ok := idOf[e.Source]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("graph: edge references unknown node %q", e.Source)
+		}
+		v, ok := idOf[e.Target]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("graph: edge references unknown node %q", e.Target)
+		}
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v)
+		ev := edgeVal{e: canonical(u, v)}
+		for _, d := range e.Data {
+			name, ok := eKeyName[d.Key]
+			if !ok {
+				continue
+			}
+			val, err := strconv.ParseFloat(d.Value, 64)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("graph: edge (%s,%s) field %q: %v", e.Source, e.Target, name, err)
+			}
+			if ev.fields == nil {
+				ev.fields = map[string]float64{}
+			}
+			ev.fields[name] = val
+		}
+		parsed = append(parsed, ev)
+	}
+	g := b.Build()
+
+	edgeFields := map[string][]float64{}
+	for _, ev := range parsed {
+		id := g.EdgeID(ev.e.U, ev.e.V)
+		for name, val := range ev.fields {
+			f := edgeFields[name]
+			if f == nil {
+				f = make([]float64, g.NumEdges())
+				edgeFields[name] = f
+			}
+			f[id] = val
+		}
+	}
+	if len(vertexFields) == 0 {
+		vertexFields = nil
+	}
+	if len(edgeFields) == 0 {
+		edgeFields = nil
+	}
+	return g, vertexFields, edgeFields, nil
+}
+
+// jsonGraph is the node-link JSON document.
+type jsonGraph struct {
+	Directed bool       `json:"directed"`
+	Nodes    []jsonNode `json:"nodes"`
+	Links    []jsonLink `json:"links"`
+}
+
+type jsonNode struct {
+	ID     int                `json:"id"`
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+type jsonLink struct {
+	Source int                `json:"source"`
+	Target int                `json:"target"`
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+// WriteJSON writes g and its scalar fields in node-link JSON form
+// (d3-force / NetworkX json_graph convention, with scalar fields in a
+// "fields" object per node and link).
+func WriteJSON(w io.Writer, g *Graph, vertexFields, edgeFields map[string][]float64) error {
+	for name, f := range vertexFields {
+		if len(f) != g.NumVertices() {
+			return fmt.Errorf("graph: vertex field %q has %d values for %d vertices", name, len(f), g.NumVertices())
+		}
+	}
+	for name, f := range edgeFields {
+		if len(f) != g.NumEdges() {
+			return fmt.Errorf("graph: edge field %q has %d values for %d edges", name, len(f), g.NumEdges())
+		}
+	}
+	doc := jsonGraph{Nodes: make([]jsonNode, g.NumVertices()), Links: make([]jsonLink, g.NumEdges())}
+	for v := range doc.Nodes {
+		doc.Nodes[v].ID = v
+		if len(vertexFields) > 0 {
+			fs := make(map[string]float64, len(vertexFields))
+			for name, f := range vertexFields {
+				fs[name] = f[v]
+			}
+			doc.Nodes[v].Fields = fs
+		}
+	}
+	for id, e := range g.Edges() {
+		doc.Links[id] = jsonLink{Source: int(e.U), Target: int(e.V)}
+		if len(edgeFields) > 0 {
+			fs := make(map[string]float64, len(edgeFields))
+			for name, f := range edgeFields {
+				fs[name] = f[id]
+			}
+			doc.Links[id].Fields = fs
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("graph: encoding JSON graph: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a node-link JSON document. Node IDs must be
+// non-negative integers; the vertex count is max(ID)+1 so sparse IDs
+// produce isolated vertices. Self-loops are dropped; for duplicate
+// links the last occurrence's field values win.
+func ReadJSON(r io.Reader) (*Graph, map[string][]float64, map[string][]float64, error) {
+	var doc jsonGraph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, nil, nil, fmt.Errorf("graph: decoding JSON graph: %w", err)
+	}
+	n := 0
+	for _, node := range doc.Nodes {
+		if node.ID < 0 {
+			return nil, nil, nil, fmt.Errorf("graph: negative node id %d", node.ID)
+		}
+		if node.ID+1 > n {
+			n = node.ID + 1
+		}
+	}
+	for _, l := range doc.Links {
+		if l.Source < 0 || l.Target < 0 {
+			return nil, nil, nil, fmt.Errorf("graph: negative link endpoint (%d,%d)", l.Source, l.Target)
+		}
+		if l.Source+1 > n {
+			n = l.Source + 1
+		}
+		if l.Target+1 > n {
+			n = l.Target + 1
+		}
+	}
+
+	vertexFields := map[string][]float64{}
+	for _, node := range doc.Nodes {
+		for name, val := range node.Fields {
+			f := vertexFields[name]
+			if f == nil {
+				f = make([]float64, n)
+				vertexFields[name] = f
+			}
+			f[node.ID] = val
+		}
+	}
+
+	b := NewBuilder(n)
+	type linkVal struct {
+		e      Edge
+		fields map[string]float64
+	}
+	var parsed []linkVal
+	for _, l := range doc.Links {
+		if l.Source == l.Target {
+			continue
+		}
+		u, v := int32(l.Source), int32(l.Target)
+		b.AddEdge(u, v)
+		parsed = append(parsed, linkVal{e: canonical(u, v), fields: l.Fields})
+	}
+	g := b.Build()
+
+	edgeFields := map[string][]float64{}
+	for _, lv := range parsed {
+		id := g.EdgeID(lv.e.U, lv.e.V)
+		for name, val := range lv.fields {
+			f := edgeFields[name]
+			if f == nil {
+				f = make([]float64, g.NumEdges())
+				edgeFields[name] = f
+			}
+			f[id] = val
+		}
+	}
+	if len(vertexFields) == 0 {
+		vertexFields = nil
+	}
+	if len(edgeFields) == 0 {
+		edgeFields = nil
+	}
+	return g, vertexFields, edgeFields, nil
+}
+
+// canonical returns the edge with U <= V.
+func canonical(u, v int32) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// sortedNames returns the map's keys in sorted order.
+func sortedNames(m map[string][]float64) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// formatFloat renders a float compactly and losslessly.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,301 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testGraph() *Graph {
+	return FromEdges(6, []Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}, {U: 4, V: 5},
+	})
+}
+
+func testFields(g *Graph) (map[string][]float64, map[string][]float64) {
+	vf := map[string][]float64{
+		"kcore":  {2, 2, 2, 1, 1, 1},
+		"degree": {2, 2, 3, 1, 1, 1},
+	}
+	ef := map[string][]float64{
+		"truss": make([]float64, g.NumEdges()),
+	}
+	for i := range ef["truss"] {
+		ef["truss"][i] = float64(i) + 0.5
+	}
+	return vf, ef
+}
+
+func TestGraphMLRoundTrip(t *testing.T) {
+	g := testGraph()
+	vf, ef := testFields(g)
+	var buf bytes.Buffer
+	if err := WriteGraphML(&buf, g, vf, ef); err != nil {
+		t.Fatal(err)
+	}
+	g2, vf2, ef2, err := ReadGraphML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: got %v, want %v", g2, g)
+	}
+	if !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+		t.Fatalf("round trip edges: %v, want %v", g2.Edges(), g.Edges())
+	}
+	if !reflect.DeepEqual(vf2, vf) {
+		t.Fatalf("round trip vertex fields: %v, want %v", vf2, vf)
+	}
+	if !reflect.DeepEqual(ef2, ef) {
+		t.Fatalf("round trip edge fields: %v, want %v", ef2, ef)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphMLNoFields(t *testing.T) {
+	g := testGraph()
+	var buf bytes.Buffer
+	if err := WriteGraphML(&buf, g, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	g2, vf, ef, err := ReadGraphML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vf != nil || ef != nil {
+		t.Fatalf("expected nil field maps, got %v / %v", vf, ef)
+	}
+	if !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+		t.Fatalf("edges %v, want %v", g2.Edges(), g.Edges())
+	}
+}
+
+func TestGraphMLRejectsBadFieldLength(t *testing.T) {
+	g := testGraph()
+	var buf bytes.Buffer
+	if err := WriteGraphML(&buf, g, map[string][]float64{"x": {1, 2}}, nil); err == nil {
+		t.Fatal("want error for short vertex field")
+	}
+	if err := WriteGraphML(&buf, g, nil, map[string][]float64{"x": {1}}); err == nil {
+		t.Fatal("want error for short edge field")
+	}
+}
+
+func TestGraphMLRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"not xml at all",
+		`<graphml><graph><node id="a"/><edge source="a" target="zzz"/></graph></graphml>`,
+		`<graphml><graph><node id="a"/><node id="a"/></graph></graphml>`,
+	}
+	for _, c := range cases {
+		if _, _, _, err := ReadGraphML(strings.NewReader(c)); err == nil {
+			t.Fatalf("ReadGraphML(%q) should fail", c)
+		}
+	}
+}
+
+func TestGraphMLDropsSelfLoopsAndStringAttrs(t *testing.T) {
+	doc := `<graphml>
+  <key id="d0" for="node" attr.name="label" attr.type="string"/>
+  <key id="d1" for="node" attr.name="score" attr.type="double"/>
+  <graph edgedefault="undirected">
+    <node id="a"><data key="d0">alpha</data><data key="d1">1.5</data></node>
+    <node id="b"><data key="d1">2.5</data></node>
+    <edge source="a" target="a"/>
+    <edge source="a" target="b"/>
+  </graph>
+</graphml>`
+	g, vf, _, err := ReadGraphML(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("self-loop not dropped: %d edges", g.NumEdges())
+	}
+	if _, ok := vf["label"]; ok {
+		t.Fatal("string attribute decoded as scalar field")
+	}
+	if !reflect.DeepEqual(vf["score"], []float64{1.5, 2.5}) {
+		t.Fatalf("score field = %v", vf["score"])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := testGraph()
+	vf, ef := testFields(g)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g, vf, ef); err != nil {
+		t.Fatal(err)
+	}
+	g2, vf2, ef2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+		t.Fatalf("round trip edges: %v, want %v", g2.Edges(), g.Edges())
+	}
+	if !reflect.DeepEqual(vf2, vf) {
+		t.Fatalf("round trip vertex fields: %v, want %v", vf2, vf)
+	}
+	if !reflect.DeepEqual(ef2, ef) {
+		t.Fatalf("round trip edge fields: %v, want %v", ef2, ef)
+	}
+}
+
+func TestJSONSparseIDs(t *testing.T) {
+	doc := `{"nodes":[{"id":0},{"id":5}],"links":[{"source":0,"target":5}]}`
+	g, _, _, err := ReadJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 6 {
+		t.Fatalf("sparse ids: %d vertices, want 6", g.NumVertices())
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("sparse ids: %d edges, want 1", g.NumEdges())
+	}
+}
+
+func TestJSONRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"{",
+		`{"nodes":[{"id":-1}]}`,
+		`{"links":[{"source":-2,"target":0}]}`,
+	}
+	for _, c := range cases {
+		if _, _, _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Fatalf("ReadJSON(%q) should fail", c)
+		}
+	}
+}
+
+func TestJSONRejectsBadFieldLength(t *testing.T) {
+	g := testGraph()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g, map[string][]float64{"x": {1}}, nil); err == nil {
+		t.Fatal("want error for short vertex field")
+	}
+	if err := WriteJSON(&buf, g, nil, map[string][]float64{"x": {1, 2}}); err == nil {
+		t.Fatal("want error for short edge field")
+	}
+}
+
+func TestJSONRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(30)
+		var edges []Edge
+		for u := int32(0); u < int32(n); u++ {
+			for v := u + 1; v < int32(n); v++ {
+				if rng.Float64() < 0.2 {
+					edges = append(edges, Edge{U: u, V: v})
+				}
+			}
+		}
+		g := FromEdges(n, edges)
+		vf := map[string][]float64{"f": make([]float64, n)}
+		for i := range vf["f"] {
+			vf["f"][i] = rng.NormFloat64()
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, g, vf, nil); err != nil {
+			t.Fatal(err)
+		}
+		g2, vf2, _, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(g2.Edges(), g.Edges()) || !reflect.DeepEqual(vf2, vf) {
+			t.Fatalf("trial %d: JSON round trip mismatch", trial)
+		}
+	}
+}
+
+func TestFieldsCSVRoundTrip(t *testing.T) {
+	names := []string{"kcore", "pagerank"}
+	fields := [][]float64{{3, 1, 2}, {0.5, 0.25, 0.25}}
+	var buf bytes.Buffer
+	if err := WriteFieldsCSV(&buf, names, fields); err != nil {
+		t.Fatal(err)
+	}
+	names2, fields2, err := ReadFieldsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names2, names) || !reflect.DeepEqual(fields2, fields) {
+		t.Fatalf("CSV round trip: %v %v, want %v %v", names2, fields2, names, fields)
+	}
+}
+
+func TestFieldsCSVShuffledRows(t *testing.T) {
+	csvText := "id,x\n2,20\n0,0\n1,10\n"
+	names, fields, err := ReadFieldsCSV(strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"x"}) {
+		t.Fatalf("names = %v", names)
+	}
+	if !reflect.DeepEqual(fields[0], []float64{0, 10, 20}) {
+		t.Fatalf("values = %v", fields[0])
+	}
+}
+
+func TestFieldsCSVRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFieldsCSV(&buf, []string{"a"}, [][]float64{{1}, {2}}); err == nil {
+		t.Fatal("want error for name/field count mismatch")
+	}
+	if err := WriteFieldsCSV(&buf, []string{"a", "b"}, [][]float64{{1}, {2, 3}}); err == nil {
+		t.Fatal("want error for ragged fields")
+	}
+	if err := WriteFieldsCSV(&buf, nil, nil); err == nil {
+		t.Fatal("want error for empty fields")
+	}
+	bad := []string{
+		"",
+		"id\n0\n",              // no field columns
+		"id,x\n0,1\n0,2\n",     // duplicate id
+		"id,x\n5,1\n",          // id out of range
+		"id,x\nzero,1\n",       // non-integer id
+		"id,x\n0,notanumber\n", // non-numeric value
+	}
+	for _, c := range bad {
+		if _, _, err := ReadFieldsCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("ReadFieldsCSV(%q) should fail", c)
+		}
+	}
+}
+
+func TestGraphMLToJSONCrossFormat(t *testing.T) {
+	// A graph serialized to GraphML and re-serialized to JSON must
+	// describe the identical scalar graph.
+	g := testGraph()
+	vf, ef := testFields(g)
+	var gml bytes.Buffer
+	if err := WriteGraphML(&gml, g, vf, ef); err != nil {
+		t.Fatal(err)
+	}
+	gA, vfA, efA, err := ReadGraphML(&gml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js bytes.Buffer
+	if err := WriteJSON(&js, gA, vfA, efA); err != nil {
+		t.Fatal(err)
+	}
+	gB, vfB, efB, err := ReadJSON(&js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gB.Edges(), g.Edges()) ||
+		!reflect.DeepEqual(vfB, vf) || !reflect.DeepEqual(efB, ef) {
+		t.Fatal("GraphML → JSON chain does not preserve the scalar graph")
+	}
+}

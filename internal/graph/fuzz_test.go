@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The fuzz targets assert the parser contract: arbitrary input must
+// never panic, and any input accepted must yield a graph whose CSR
+// invariants validate and whose decoded fields have consistent
+// lengths. Run with `go test -fuzz=FuzzReadEdgeList ./internal/graph`
+// to explore; the seed corpus below runs under plain `go test`.
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n% other comment\n3\t4\n")
+	f.Add("0 0\n")
+	f.Add("9999999999999999999999 1\n")
+	f.Add("-1 2\n")
+	f.Add("a b\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, orig, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v", err)
+		}
+		if len(orig) != g.NumVertices() {
+			t.Fatalf("id mapping has %d entries for %d vertices", len(orig), g.NumVertices())
+		}
+	})
+}
+
+func FuzzReadGraphML(f *testing.F) {
+	var seed bytes.Buffer
+	g := FromEdges(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	_ = WriteGraphML(&seed, g, map[string][]float64{"s": {1, 2, 3}}, nil)
+	f.Add(seed.String())
+	f.Add(`<graphml><graph><node id="a"/></graph></graphml>`)
+	f.Add(`<graphml><graph><edge source="x" target="y"/></graph></graphml>`)
+	f.Add(`<graphml>`)
+	f.Fuzz(func(t *testing.T, input string) {
+		g, vf, ef, err := ReadGraphML(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v", err)
+		}
+		for name, f := range vf {
+			if len(f) != g.NumVertices() {
+				t.Fatalf("vertex field %q length %d, want %d", name, len(f), g.NumVertices())
+			}
+		}
+		for name, f := range ef {
+			if len(f) != g.NumEdges() {
+				t.Fatalf("edge field %q length %d, want %d", name, len(f), g.NumEdges())
+			}
+		}
+	})
+}
+
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	g := FromEdges(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	_ = WriteJSON(&seed, g, map[string][]float64{"s": {1, 2, 3}}, nil)
+	f.Add(seed.String())
+	f.Add(`{"nodes":[],"links":[]}`)
+	f.Add(`{"nodes":[{"id":100}]}`)
+	f.Add(`{"links":[{"source":1,"target":1}]}`)
+	f.Add(`nonsense`)
+	f.Fuzz(func(t *testing.T, input string) {
+		g, vf, ef, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v", err)
+		}
+		for name, f := range vf {
+			if len(f) != g.NumVertices() {
+				t.Fatalf("vertex field %q length %d, want %d", name, len(f), g.NumVertices())
+			}
+		}
+		for name, f := range ef {
+			if len(f) != g.NumEdges() {
+				t.Fatalf("edge field %q length %d, want %d", name, len(f), g.NumEdges())
+			}
+		}
+	})
+}
+
+func FuzzReadFieldsCSV(f *testing.F) {
+	f.Add("id,x\n0,1.5\n1,2.5\n")
+	f.Add("id,x,y\n1,2,3\n0,4,5\n")
+	f.Add("")
+	f.Add("id\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		names, fields, err := ReadFieldsCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(names) != len(fields) {
+			t.Fatalf("%d names for %d fields", len(names), len(fields))
+		}
+		for i := 1; i < len(fields); i++ {
+			if len(fields[i]) != len(fields[0]) {
+				t.Fatal("ragged decoded fields")
+			}
+		}
+	})
+}

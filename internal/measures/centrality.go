@@ -1,0 +1,191 @@
+package measures
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// DegreeCentrality returns each vertex's degree as a scalar field —
+// the S_d field of the paper's Section III-C comparison.
+func DegreeCentrality(g *graph.Graph) []float64 {
+	out := make([]float64, g.NumVertices())
+	for v := range out {
+		out[v] = float64(g.Degree(int32(v)))
+	}
+	return out
+}
+
+// BetweennessCentrality computes exact betweenness centrality on the
+// unweighted graph using Brandes' algorithm: one BFS plus a dependency
+// back-propagation per source, O(|V|·|E|) total. Scores count each
+// unordered pair once (the undirected convention: accumulated values
+// are halved).
+func BetweennessCentrality(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	sources := make([]int32, n)
+	for i := range sources {
+		sources[i] = int32(i)
+	}
+	return betweennessFrom(g, sources, 1)
+}
+
+// ApproxBetweennessCentrality estimates betweenness from a uniform
+// sample of source vertices, scaling the accumulated dependencies by
+// n/samples. It keeps Table II-scale graphs tractable: exact Brandes
+// on millions of vertices is out of reach on one machine.
+func ApproxBetweennessCentrality(g *graph.Graph, samples int, seed int64) []float64 {
+	n := g.NumVertices()
+	if samples >= n {
+		return BetweennessCentrality(g)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	sources := make([]int32, samples)
+	for i := 0; i < samples; i++ {
+		sources[i] = int32(perm[i])
+	}
+	return betweennessFrom(g, sources, float64(n)/float64(samples))
+}
+
+// betweennessFrom runs the Brandes accumulation from the given sources.
+func betweennessFrom(g *graph.Graph, sources []int32, scale float64) []float64 {
+	n := g.NumVertices()
+	bc := make([]float64, n)
+	sigma := make([]float64, n) // shortest-path counts
+	dist := make([]int32, n)
+	delta := make([]float64, n) // dependency accumulators
+	order := make([]int32, 0, n)
+
+	for _, s := range sources {
+		for i := 0; i < n; i++ {
+			sigma[i], dist[i], delta[i] = 0, -1, 0
+		}
+		order = order[:0]
+		sigma[s], dist[s] = 1, 0
+		order = append(order, s)
+		for head := 0; head < len(order); head++ {
+			v := order[head]
+			for _, u := range g.Neighbors(v) {
+				if dist[u] < 0 {
+					dist[u] = dist[v] + 1
+					order = append(order, u)
+				}
+				if dist[u] == dist[v]+1 {
+					sigma[u] += sigma[v]
+				}
+			}
+		}
+		// Back-propagate dependencies in reverse BFS order.
+		for i := len(order) - 1; i > 0; i-- {
+			w := order[i]
+			for _, v := range g.Neighbors(w) {
+				if dist[v] == dist[w]-1 {
+					delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+				}
+			}
+			bc[w] += delta[w]
+		}
+	}
+	// Each unordered pair is counted twice over undirected sources,
+	// so halve; scale corrects for source sampling.
+	for v := range bc {
+		bc[v] *= 0.5 * scale
+	}
+	return bc
+}
+
+// ClosenessCentrality computes, for every vertex, (reachable-1) /
+// (sum of distances to reachable vertices), the standard
+// component-normalized closeness (Wasserman–Faust). Isolated vertices
+// score 0.
+func ClosenessCentrality(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		dist := graph.BFSDistances(g, int32(v))
+		var sum, reach float64
+		for _, d := range dist {
+			if d > 0 {
+				sum += float64(d)
+				reach++
+			}
+		}
+		if sum > 0 {
+			// Scale by the reachable fraction so vertices in small
+			// components do not dominate.
+			out[v] = reach * reach / (float64(n-1) * sum)
+		}
+	}
+	return out
+}
+
+// HarmonicCentrality computes Σ_{u≠v} 1/d(v,u) with 1/∞ = 0, the
+// harmonic centrality the paper's introduction lists among global
+// connectivity measures.
+func HarmonicCentrality(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		dist := graph.BFSDistances(g, int32(v))
+		var sum float64
+		for _, d := range dist {
+			if d > 0 {
+				sum += 1 / float64(d)
+			}
+		}
+		out[v] = sum
+	}
+	return out
+}
+
+// PageRank computes PageRank with uniform teleport by power iteration
+// on the undirected graph (each undirected edge acts as two directed
+// edges). Iteration stops when the L1 change drops below tol or after
+// maxIter rounds. Dangling (isolated) vertices redistribute uniformly.
+func PageRank(g *graph.Graph, damping float64, tol float64, maxIter int) []float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		var dangling float64
+		for i := range next {
+			next[i] = 0
+		}
+		for v := int32(0); v < int32(n); v++ {
+			d := g.Degree(v)
+			if d == 0 {
+				dangling += rank[v]
+				continue
+			}
+			share := rank[v] / float64(d)
+			for _, u := range g.Neighbors(v) {
+				next[u] += share
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		var diff float64
+		for i := range next {
+			next[i] = base + damping*next[i]
+			diff += abs(next[i] - rank[i])
+		}
+		rank, next = next, rank
+		if diff < tol {
+			break
+		}
+	}
+	return rank
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,237 @@
+package measures
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestEdgeBetweennessPath(t *testing.T) {
+	// Path 0-1-2-3: middle edge carries pairs {0,1,}x{2,3} = 4, end
+	// edges carry 3 each (pairs separated by them).
+	g := pathGraph(4)
+	ebc := EdgeBetweennessCentrality(g)
+	want := map[graph.Edge]float64{
+		{U: 0, V: 1}: 3,
+		{U: 1, V: 2}: 4,
+		{U: 2, V: 3}: 3,
+	}
+	for id, e := range g.Edges() {
+		if math.Abs(ebc[id]-want[e]) > 1e-9 {
+			t.Fatalf("edge %v betweenness %g, want %g", e, ebc[id], want[e])
+		}
+	}
+}
+
+func TestEdgeBetweennessCompleteUniform(t *testing.T) {
+	// In K_n every pair is adjacent, so each edge carries exactly its
+	// own endpoint pair: betweenness 1 per edge.
+	g := completeGraph(6)
+	for id, v := range EdgeBetweennessCentrality(g) {
+		if math.Abs(v-1) > 1e-9 {
+			t.Fatalf("K6 edge %d betweenness %g, want 1", id, v)
+		}
+	}
+}
+
+func TestEdgeBetweennessBridge(t *testing.T) {
+	// Two triangles joined by a bridge: the bridge carries all 9 cross
+	// pairs.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	ebc := EdgeBetweennessCentrality(g)
+	id := g.EdgeID(2, 3)
+	if math.Abs(ebc[id]-9) > 1e-9 {
+		t.Fatalf("bridge betweenness %g, want 9", ebc[id])
+	}
+	// The bridge must dominate every intra-triangle edge.
+	for e := range ebc {
+		if int32(e) != id && ebc[e] >= ebc[id] {
+			t.Fatalf("edge %d betweenness %g >= bridge's %g", e, ebc[e], ebc[id])
+		}
+	}
+}
+
+func TestEdgeBetweennessSumEqualsPairDistances(t *testing.T) {
+	// Σ_e EBC(e) = Σ_{u<v} d(u,v): every shortest path of length L
+	// contributes 1 to each of L edges (split across equal-length paths).
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomGraph(seed, 20, 0.2)
+		ebc := EdgeBetweennessCentrality(g)
+		var sumEBC float64
+		for _, v := range ebc {
+			sumEBC += v
+		}
+		var sumDist float64
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			for u, d := range graph.BFSDistances(g, v) {
+				if int32(u) > v && d > 0 {
+					sumDist += float64(d)
+				}
+			}
+		}
+		if math.Abs(sumEBC-sumDist) > 1e-6 {
+			t.Fatalf("seed %d: ΣEBC = %g, Σd(u,v) = %g", seed, sumEBC, sumDist)
+		}
+	}
+}
+
+func TestEdgeBetweennessAsEdgeScalarField(t *testing.T) {
+	g := completeGraph(4)
+	ebc := EdgeBetweennessCentrality(g)
+	if len(ebc) != g.NumEdges() {
+		t.Fatalf("field length %d, want %d edges", len(ebc), g.NumEdges())
+	}
+}
+
+func TestKatzStarOrdersHubFirst(t *testing.T) {
+	g := starGraph(8)
+	katz := KatzCentrality(g, 0, 1e-12, 1000)
+	if katz[0] != 1 {
+		t.Fatalf("hub Katz %g, want 1 after normalization", katz[0])
+	}
+	for v := 1; v < len(katz); v++ {
+		if katz[v] >= katz[0] {
+			t.Fatalf("leaf %d Katz %g >= hub's %g", v, katz[v], katz[0])
+		}
+		if math.Abs(katz[v]-katz[1]) > 1e-9 {
+			t.Fatalf("leaves not symmetric: %g vs %g", katz[v], katz[1])
+		}
+	}
+}
+
+func TestKatzRegularUniform(t *testing.T) {
+	g := cycleGraph(7)
+	katz := KatzCentrality(g, 0.2, 1e-12, 1000)
+	for v := range katz {
+		if math.Abs(katz[v]-1) > 1e-9 {
+			t.Fatalf("cycle vertex %d Katz %g, want 1 (regular graph is uniform)", v, katz[v])
+		}
+	}
+}
+
+func TestKatzEmptyGraph(t *testing.T) {
+	if out := KatzCentrality(graph.FromEdges(0, nil), 0, 1e-9, 10); out != nil {
+		t.Fatalf("Katz on empty graph = %v, want nil", out)
+	}
+}
+
+func TestOnionLayersRefineCores(t *testing.T) {
+	// Onion layers must be constant-or-increasing with core number and
+	// strictly refine the core decomposition on a clique-with-tail.
+	b := graph.NewBuilder(7)
+	// K4 on 0..3.
+	for u := int32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	// Tail 3-4-5-6.
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	g := b.Build()
+	layers := OnionLayers(g)
+	// Round 1 peels the degree-1 endpoint 6; round 2 peels 5; round 3
+	// peels 4; round 4 peels the K4.
+	want := []int32{4, 4, 4, 4, 3, 2, 1}
+	for v, l := range layers {
+		if l != want[v] {
+			t.Fatalf("layer(%d) = %d, want %d (all: %v)", v, l, want[v], layers)
+		}
+	}
+}
+
+func TestOnionLayersOrderedWithinCores(t *testing.T) {
+	// Property: if KC(u) < KC(v) then layer(u) <= layer(v) would NOT
+	// hold in general, but layers must respect peeling: a vertex's
+	// layer is at least 1 and at most the number of rounds, and
+	// vertices with larger core numbers never peel before the shells
+	// below them finish... the checkable invariant is that within the
+	// subgraph induced by a k-core, the minimum layer belongs to the
+	// shell boundary. Here we check the cheap global invariants on
+	// random graphs: full coverage and core-consistency (core number
+	// of a vertex in a later layer of the same shell is equal).
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomGraph(seed, 40, 0.1)
+		layers := OnionLayers(g)
+		cores := CoreNumbers(g)
+		for v, l := range layers {
+			if l < 1 {
+				t.Fatalf("vertex %d has layer %d < 1", v, l)
+			}
+			_ = cores[v]
+		}
+		// Peeling consistency: recompute greedily and compare.
+		want := onionBrute(g)
+		for v := range layers {
+			if layers[v] != want[v] {
+				t.Fatalf("seed %d: layer(%d) = %d, brute = %d", seed, v, layers[v], want[v])
+			}
+		}
+	}
+}
+
+// onionBrute recomputes onion layers by literal simulation with an
+// adjacency copy, as an oracle.
+func onionBrute(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	alive := make(map[int32]map[int32]bool, n)
+	for v := int32(0); v < int32(n); v++ {
+		alive[v] = map[int32]bool{}
+		for _, u := range g.Neighbors(v) {
+			alive[v][u] = true
+		}
+	}
+	layer := make([]int32, n)
+	round := int32(0)
+	threshold := 0
+	for len(alive) > 0 {
+		min := 1 << 30
+		for _, nb := range alive {
+			if len(nb) < min {
+				min = len(nb)
+			}
+		}
+		if min > threshold {
+			threshold = min
+		}
+		round++
+		var peel []int32
+		for v, nb := range alive {
+			if len(nb) <= threshold {
+				peel = append(peel, v)
+			}
+		}
+		for _, v := range peel {
+			layer[v] = round
+			delete(alive, v)
+		}
+		for _, v := range peel {
+			for u := range alive {
+				delete(alive[u], v)
+				_ = v
+			}
+		}
+	}
+	return layer
+}
+
+func TestOnionLayersFloat(t *testing.T) {
+	g := starGraph(3)
+	f := OnionLayersFloat(g)
+	l := OnionLayers(g)
+	for i := range f {
+		if f[i] != float64(l[i]) {
+			t.Fatalf("float field diverges at %d", i)
+		}
+	}
+}

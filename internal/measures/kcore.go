@@ -1,0 +1,111 @@
+// Package measures computes the graph measures the paper uses as
+// scalar fields: k-core and k-truss decompositions (Section II-D),
+// degree / betweenness / closeness / harmonic centralities and
+// PageRank (Section III-C), triangle counts, and local clustering
+// coefficients.
+//
+// Every function returns plain float64 slices indexed by vertex or
+// edge ID, ready to be wrapped in a core.VertexField or core.EdgeField.
+package measures
+
+import "repro/internal/graph"
+
+// CoreNumbers computes KC(v) — the K value of the maximal K-Core of
+// each vertex (Definition 4 of the paper) — using the Batagelj–
+// Zaveršnik O(m) peeling algorithm the paper cites as [5].
+//
+// The algorithm bucket-sorts vertices by degree and repeatedly removes
+// a vertex of minimum remaining degree; its core number is the maximum
+// over the peel sequence of the minimum degree seen so far.
+func CoreNumbers(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	core := make([]int32, n)
+	if n == 0 {
+		return core
+	}
+	deg := make([]int32, n)
+	maxDeg := int32(0)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(int32(v)))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort vertices by degree: bin[d] is the start offset of
+	// degree-d vertices in pos/vert.
+	bin := make([]int32, maxDeg+2)
+	for v := 0; v < n; v++ {
+		bin[deg[v]+1]++
+	}
+	for d := int32(1); d <= maxDeg+1; d++ {
+		bin[d] += bin[d-1]
+	}
+	vert := make([]int32, n) // vertices in degree order
+	pos := make([]int32, n)  // position of each vertex in vert
+	cursor := make([]int32, maxDeg+1)
+	copy(cursor, bin[:maxDeg+1])
+	for v := 0; v < n; v++ {
+		pos[v] = cursor[deg[v]]
+		vert[pos[v]] = int32(v)
+		cursor[deg[v]]++
+	}
+	// Peel in nondecreasing degree order.
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = deg[v]
+		for _, u := range g.Neighbors(v) {
+			if deg[u] <= deg[v] {
+				continue // u already peeled or tied
+			}
+			// Move u one bucket down: swap it with the first vertex of
+			// its current bucket, then shrink the bucket boundary.
+			du := deg[u]
+			pu := pos[u]
+			pw := bin[du]
+			w := vert[pw]
+			if u != w {
+				vert[pu], vert[pw] = w, u
+				pos[u], pos[w] = pw, pu
+			}
+			bin[du]++
+			deg[u]--
+		}
+	}
+	return core
+}
+
+// CoreNumbersFloat wraps CoreNumbers as a float64 scalar field.
+func CoreNumbersFloat(g *graph.Graph) []float64 {
+	core := CoreNumbers(g)
+	out := make([]float64, len(core))
+	for i, c := range core {
+		out[i] = float64(c)
+	}
+	return out
+}
+
+// Degeneracy reports the maximum core number of the graph (the largest
+// K for which a K-core exists), or 0 for an empty graph.
+func Degeneracy(g *graph.Graph) int32 {
+	max := int32(0)
+	for _, c := range CoreNumbers(g) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// KCoreSubgraph returns the vertices of the K-core: the maximal
+// subgraph in which every vertex has at least k neighbors inside the
+// subgraph. It is the union of vertices whose core number is >= k.
+func KCoreSubgraph(g *graph.Graph, k int32) []int32 {
+	core := CoreNumbers(g)
+	var vs []int32
+	for v, c := range core {
+		if c >= k {
+			vs = append(vs, int32(v))
+		}
+	}
+	return vs
+}

@@ -1,0 +1,196 @@
+// Package nngraph builds nearest-neighbor graphs over tabular rows,
+// the substrate of the paper's query-result visualization (Section
+// III-D): the output of a SQL query is modeled as a table of numeric
+// attributes, rows become vertices, and edges connect rows whose
+// attribute vectors are close. Any column then serves as a scalar
+// field over the graph, and a categorical column (plant genus in the
+// paper) colors the terrain.
+package nngraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Table is a numeric table with an optional categorical label per row.
+type Table struct {
+	// Attributes names the columns.
+	Attributes []string
+	// Rows holds one numeric vector per row; all rows must have
+	// len(Attributes) values.
+	Rows [][]float64
+	// Labels optionally holds a category per row (e.g. plant genus).
+	Labels []int
+	// LabelNames optionally names the categories.
+	LabelNames []string
+}
+
+// Validate checks table shape invariants.
+func (t *Table) Validate() error {
+	for i, r := range t.Rows {
+		if len(r) != len(t.Attributes) {
+			return fmt.Errorf("nngraph: row %d has %d values for %d attributes",
+				i, len(r), len(t.Attributes))
+		}
+	}
+	if t.Labels != nil && len(t.Labels) != len(t.Rows) {
+		return fmt.Errorf("nngraph: %d labels for %d rows", len(t.Labels), len(t.Rows))
+	}
+	return nil
+}
+
+// Column returns column a as a scalar field over the rows.
+func (t *Table) Column(a int) []float64 {
+	out := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r[a]
+	}
+	return out
+}
+
+// Options configures NN-graph construction.
+type Options struct {
+	// K neighbors per row. Default 5.
+	K int
+	// MaxDistance prunes edges longer than this (0 = no pruning); this
+	// is the paper's expert-specified distance threshold.
+	MaxDistance float64
+	// Normalize z-scores each attribute before measuring distance, so
+	// differently scaled attributes contribute comparably. Default off.
+	Normalize bool
+}
+
+// Build constructs the k-nearest-neighbor graph of the table under
+// Euclidean distance: each row connects to its K nearest rows (within
+// MaxDistance if set). The graph is undirected, so vertex degree can
+// exceed K. Brute-force O(n²) distances — query results are small.
+func Build(t *Table, opts Options) (*graph.Graph, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.K <= 0 {
+		opts.K = 5
+	}
+	n := len(t.Rows)
+	rows := t.Rows
+	if opts.Normalize {
+		rows = zscore(t.Rows, len(t.Attributes))
+	}
+	b := graph.NewBuilder(n)
+	type cand struct {
+		j int32
+		d float64
+	}
+	cands := make([]cand, 0, n)
+	for i := 0; i < n; i++ {
+		cands = cands[:0]
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := euclid(rows[i], rows[j])
+			if opts.MaxDistance > 0 && d > opts.MaxDistance {
+				continue
+			}
+			cands = append(cands, cand{int32(j), d})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].d != cands[b].d {
+				return cands[a].d < cands[b].d
+			}
+			return cands[a].j < cands[b].j
+		})
+		k := opts.K
+		if k > len(cands) {
+			k = len(cands)
+		}
+		for _, c := range cands[:k] {
+			b.AddEdge(int32(i), c.j)
+		}
+	}
+	return b.Build(), nil
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func zscore(rows [][]float64, cols int) [][]float64 {
+	n := len(rows)
+	mean := make([]float64, cols)
+	std := make([]float64, cols)
+	for _, r := range rows {
+		for c, v := range r {
+			mean[c] += v
+		}
+	}
+	for c := range mean {
+		mean[c] /= float64(n)
+	}
+	for _, r := range rows {
+		for c, v := range r {
+			d := v - mean[c]
+			std[c] += d * d
+		}
+	}
+	for c := range std {
+		std[c] = math.Sqrt(std[c] / float64(n))
+		if std[c] == 0 {
+			std[c] = 1
+		}
+	}
+	out := make([][]float64, n)
+	for i, r := range rows {
+		out[i] = make([]float64, cols)
+		for c, v := range r {
+			out[i][c] = (v - mean[c]) / std[c]
+		}
+	}
+	return out
+}
+
+// PlantTable generates the synthetic stand-in for the paper's plant-
+// genus query result: rowsPerGenus rows for each of three genus
+// (labeled 0=red, 1=green, 2=blue to match Figure 11's colors), with
+// five numeric attributes. Attribute 0 ("attribute 1" in the paper)
+// separates the genus strongly; attribute 1 separates them weakly —
+// reproducing the paper's observation that attribute 1 demonstrates
+// greater genus separability. The red genus sits inside the green
+// genus in attribute space (more central, contained), and blue is far
+// from both.
+func PlantTable(rowsPerGenus int, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	attrs := []string{"attr1", "attr2", "attr3", "attr4", "attr5"}
+	// Genus means per attribute.
+	means := [3][5]float64{
+		{5.0, 4.8, 2, 3, 1}, // red: inside green's region
+		{5.5, 5.0, 2, 3, 1}, // green: overlaps red
+		{12., 5.6, 2, 3, 1}, // blue: far along attr1, mildly along attr2
+	}
+	// Red is tighter than green (contained); blue is its own cluster.
+	stds := [3]float64{0.35, 0.9, 0.6}
+	t := &Table{
+		Attributes: attrs,
+		LabelNames: []string{"red-genus", "green-genus", "blue-genus"},
+	}
+	for g := 0; g < 3; g++ {
+		for i := 0; i < rowsPerGenus; i++ {
+			row := make([]float64, 5)
+			for a := 0; a < 5; a++ {
+				row[a] = means[g][a] + stds[g]*rng.NormFloat64()
+			}
+			t.Rows = append(t.Rows, row)
+			t.Labels = append(t.Labels, g)
+		}
+	}
+	return t
+}

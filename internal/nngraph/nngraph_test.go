@@ -1,0 +1,208 @@
+package nngraph
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestValidateShape(t *testing.T) {
+	bad := &Table{Attributes: []string{"a", "b"}, Rows: [][]float64{{1}}}
+	if bad.Validate() == nil {
+		t.Error("want error for ragged rows")
+	}
+	bad2 := &Table{Attributes: []string{"a"}, Rows: [][]float64{{1}}, Labels: []int{0, 1}}
+	if bad2.Validate() == nil {
+		t.Error("want error for label/row mismatch")
+	}
+}
+
+func TestColumn(t *testing.T) {
+	tab := &Table{Attributes: []string{"a", "b"}, Rows: [][]float64{{1, 2}, {3, 4}}}
+	col := tab.Column(1)
+	if col[0] != 2 || col[1] != 4 {
+		t.Errorf("Column(1) = %v", col)
+	}
+}
+
+func TestBuildConnectsNearest(t *testing.T) {
+	// Three collinear points: middle is nearest to both ends.
+	tab := &Table{
+		Attributes: []string{"x"},
+		Rows:       [][]float64{{0}, {1}, {10}},
+	}
+	g, err := Build(tab, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("0 and 1 are mutual nearest neighbors; edge missing")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("0 and 2 are far apart; unexpected edge")
+	}
+	// 2's nearest is 1, so (1,2) exists even though 2 is not 1's nearest.
+	if !g.HasEdge(1, 2) {
+		t.Error("edge (1,2) from 2's NN list missing")
+	}
+}
+
+func TestBuildMaxDistancePrunes(t *testing.T) {
+	tab := &Table{
+		Attributes: []string{"x"},
+		Rows:       [][]float64{{0}, {1}, {10}},
+	}
+	g, err := Build(tab, Options{K: 2, MaxDistance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(1, 2) || g.HasEdge(0, 2) {
+		t.Error("edges beyond MaxDistance must be pruned")
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("near edge wrongly pruned")
+	}
+}
+
+func TestBuildSeparatesClusters(t *testing.T) {
+	tab := PlantTable(30, 1)
+	g, err := Build(tab, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blue genus (label 2) is far from red/green: no NN edges should
+	// cross from blue to the others.
+	cross := 0
+	for _, e := range g.Edges() {
+		lu, lv := tab.Labels[e.U], tab.Labels[e.V]
+		if (lu == 2) != (lv == 2) {
+			cross++
+		}
+	}
+	if cross > 0 {
+		t.Errorf("%d NN edges cross into the well-separated blue genus", cross)
+	}
+	// Red (0) and green (1) overlap: expect at least some cross edges.
+	redGreen := 0
+	for _, e := range g.Edges() {
+		lu, lv := tab.Labels[e.U], tab.Labels[e.V]
+		if lu != lv && lu != 2 && lv != 2 {
+			redGreen++
+		}
+	}
+	if redGreen == 0 {
+		t.Error("red and green genus should interleave in the NN graph")
+	}
+}
+
+func TestBuildNormalize(t *testing.T) {
+	// Attribute with huge scale dominates unless normalized.
+	tab := &Table{
+		Attributes: []string{"big", "small"},
+		Rows: [][]float64{
+			{0, 0}, {0, 1}, {1000, 0},
+		},
+	}
+	g, _ := Build(tab, Options{K: 1})
+	if !g.HasEdge(0, 1) {
+		t.Error("without normalization, rows 0 and 1 are nearest")
+	}
+	gn, _ := Build(tab, Options{K: 1, Normalize: true})
+	if gn.NumEdges() == 0 {
+		t.Error("normalized build produced no edges")
+	}
+}
+
+func TestBuildValidatesTable(t *testing.T) {
+	bad := &Table{Attributes: []string{"a", "b"}, Rows: [][]float64{{1}}}
+	if _, err := Build(bad, Options{}); err == nil {
+		t.Error("Build must reject invalid tables")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	tab := PlantTable(20, 5)
+	a, _ := Build(tab, Options{K: 3})
+	b, _ := Build(tab, Options{K: 3})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("nondeterministic NN graph")
+	}
+}
+
+func TestPlantTableShape(t *testing.T) {
+	tab := PlantTable(25, 2)
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 75 {
+		t.Fatalf("rows = %d, want 75", len(tab.Rows))
+	}
+	if len(tab.Attributes) != 5 {
+		t.Fatalf("attributes = %d, want 5", len(tab.Attributes))
+	}
+	counts := map[int]int{}
+	for _, l := range tab.Labels {
+		counts[l]++
+	}
+	for g := 0; g < 3; g++ {
+		if counts[g] != 25 {
+			t.Errorf("genus %d has %d rows, want 25", g, counts[g])
+		}
+	}
+}
+
+func TestPlantTableAttr1MoreSeparable(t *testing.T) {
+	// The paper's Figure 11 finding: attribute 1 separates the genus
+	// better than attribute 2. Compare between-genus mean spread over
+	// within-genus stddev for both columns.
+	tab := PlantTable(50, 3)
+	sep := func(col int) float64 {
+		var mean [3]float64
+		var count [3]int
+		for i, r := range tab.Rows {
+			mean[tab.Labels[i]] += r[col]
+			count[tab.Labels[i]]++
+		}
+		for g := range mean {
+			mean[g] /= float64(count[g])
+		}
+		var within float64
+		for i, r := range tab.Rows {
+			d := r[col] - mean[tab.Labels[i]]
+			within += d * d
+		}
+		within = within / float64(len(tab.Rows))
+		spread := 0.0
+		for a := 0; a < 3; a++ {
+			for b := a + 1; b < 3; b++ {
+				d := mean[a] - mean[b]
+				spread += d * d
+			}
+		}
+		return spread / (within + 1e-12)
+	}
+	if sep(0) <= 2*sep(1) {
+		t.Errorf("attr1 separability %.2f not clearly above attr2 %.2f", sep(0), sep(1))
+	}
+}
+
+func TestEuclid(t *testing.T) {
+	if d := euclid([]float64{0, 0}, []float64{3, 4}); d != 5 {
+		t.Errorf("euclid = %g, want 5", d)
+	}
+}
+
+func TestNNGraphUsableAsScalarGraph(t *testing.T) {
+	tab := PlantTable(20, 4)
+	g, err := Build(tab, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *graph.Graph = g
+	if g.NumVertices() != 60 {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

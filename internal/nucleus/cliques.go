@@ -1,0 +1,85 @@
+package nucleus
+
+import (
+	"repro/internal/graph"
+)
+
+// enumTriangles lists every triangle of g as a sorted vertex triple
+// (u < v < w). Enumeration walks each edge (u,v) with u < v and
+// intersects the sorted neighbor lists of u and v, keeping only third
+// vertices w > v so that each triangle is reported exactly once.
+func enumTriangles(g *graph.Graph) [][3]int32 {
+	var tris [][3]int32
+	for _, e := range g.Edges() {
+		u, v := e.U, e.V
+		nu, nv := g.Neighbors(u), g.Neighbors(v)
+		i, j := 0, 0
+		for i < len(nu) && j < len(nv) {
+			a, b := nu[i], nv[j]
+			switch {
+			case a == b:
+				if a > v {
+					tris = append(tris, [3]int32{u, v, a})
+				}
+				i++
+				j++
+			case a < b:
+				i++
+			default:
+				j++
+			}
+		}
+	}
+	return tris
+}
+
+// enumFourCliques lists every 4-clique of g as a sorted vertex
+// quadruple. For each triangle (u,v,w) it intersects the three
+// neighbor lists and keeps fourth vertices x > w, so each K4 is
+// reported exactly once.
+func enumFourCliques(g *graph.Graph, tris [][3]int32) [][4]int32 {
+	var quads [][4]int32
+	for _, t := range tris {
+		u, v, w := t[0], t[1], t[2]
+		common := intersect3(g.Neighbors(u), g.Neighbors(v), g.Neighbors(w))
+		for _, x := range common {
+			if x > w {
+				quads = append(quads, [4]int32{u, v, w, x})
+			}
+		}
+	}
+	return quads
+}
+
+// intersect3 returns the sorted intersection of three sorted slices.
+func intersect3(a, b, c []int32) []int32 {
+	var out []int32
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) && k < len(c) {
+		x, y, z := a[i], b[j], c[k]
+		m := x
+		if y > m {
+			m = y
+		}
+		if z > m {
+			m = z
+		}
+		if x == m && y == m && z == m {
+			out = append(out, m)
+			i++
+			j++
+			k++
+			continue
+		}
+		if x < m {
+			i++
+		}
+		if y < m {
+			j++
+		}
+		if z < m {
+			k++
+		}
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+package reldb
+
+import "testing"
+
+// FuzzParsePredicate asserts the predicate compiler's contract:
+// arbitrary WHERE text never panics, and any predicate it accepts
+// evaluates without panicking on every row of the relation.
+func FuzzParsePredicate(f *testing.F) {
+	f.Add("attr1 > 5")
+	f.Add("genus = 'acer' AND attr2 <= 1.5")
+	f.Add("(a = 1 OR b != 2) AND NOT c < 3")
+	f.Add("attr1 >= ")
+	f.Add("'''")
+	f.Add("((((")
+	f.Add("attr1 > 5 AND attr1 > 5 AND attr1 > 5 OR genus != 'salix'")
+	rel := plantRelation()
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := parsePredicate(src, rel)
+		if err != nil {
+			return
+		}
+		for row := range rel.Rows {
+			e.eval(rel, row)
+		}
+	})
+}

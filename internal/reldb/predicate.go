@@ -1,0 +1,251 @@
+package reldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// expr is a compiled predicate evaluated against one row of a relation.
+type expr interface {
+	eval(r *Relation, row int) bool
+}
+
+type orExpr struct{ l, r expr }
+type andExpr struct{ l, r expr }
+type notExpr struct{ e expr }
+
+func (e orExpr) eval(r *Relation, row int) bool  { return e.l.eval(r, row) || e.r.eval(r, row) }
+func (e andExpr) eval(r *Relation, row int) bool { return e.l.eval(r, row) && e.r.eval(r, row) }
+func (e notExpr) eval(r *Relation, row int) bool { return !e.e.eval(r, row) }
+
+// numCmp compares a numeric column against a constant.
+type numCmp struct {
+	col int
+	op  string
+	val float64
+}
+
+func (c numCmp) eval(r *Relation, row int) bool {
+	v := r.Rows[row][c.col]
+	switch c.op {
+	case "=":
+		return v == c.val
+	case "!=":
+		return v != c.val
+	case "<":
+		return v < c.val
+	case "<=":
+		return v <= c.val
+	case ">":
+		return v > c.val
+	case ">=":
+		return v >= c.val
+	}
+	return false
+}
+
+// labelCmp compares the label column against a category index.
+type labelCmp struct {
+	op  string
+	cat int
+}
+
+func (c labelCmp) eval(r *Relation, row int) bool {
+	switch c.op {
+	case "=":
+		return r.Labels[row] == c.cat
+	case "!=":
+		return r.Labels[row] != c.cat
+	}
+	return false
+}
+
+// parsePredicate compiles the WHERE text against the relation's schema
+// (column references are resolved at parse time, so unknown names fail
+// fast rather than per row).
+func parsePredicate(src string, rel *Relation) (expr, error) {
+	p := &parser{toks: tokenize(src), rel: rel}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, fmt.Errorf("reldb: parsing %q: %w", src, err)
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("reldb: parsing %q: trailing input at %q", src, p.toks[p.pos])
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+	rel  *Relation
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) parseOr() (expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "or") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = orExpr{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "and") {
+		p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = andExpr{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (expr, error) {
+	switch {
+	case p.peek() == "(":
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("missing ')'")
+		}
+		return e, nil
+	case strings.EqualFold(p.peek(), "not"):
+		p.next()
+		e, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{e}, nil
+	}
+
+	col := p.next()
+	if col == "" {
+		return nil, fmt.Errorf("expected column name")
+	}
+	op := p.next()
+	switch op {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return nil, fmt.Errorf("expected comparison operator, got %q", op)
+	}
+	rhs := p.next()
+	if rhs == "" {
+		return nil, fmt.Errorf("expected value after %q", op)
+	}
+
+	// String literal: label comparison.
+	if strings.HasPrefix(rhs, "'") {
+		if op != "=" && op != "!=" {
+			return nil, fmt.Errorf("labels support only = and !=, got %q", op)
+		}
+		if p.rel.LabelColumn == "" || !strings.EqualFold(col, p.rel.LabelColumn) {
+			return nil, fmt.Errorf("%q is not the label column", col)
+		}
+		name := strings.Trim(rhs, "'")
+		for i, ln := range p.rel.LabelNames {
+			if ln == name {
+				return labelCmp{op: op, cat: i}, nil
+			}
+		}
+		return nil, fmt.Errorf("unknown label %q", name)
+	}
+
+	val, err := strconv.ParseFloat(rhs, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad numeric literal %q", rhs)
+	}
+	// Numeric label comparison (genus = 2) is allowed too.
+	if p.rel.LabelColumn != "" && strings.EqualFold(col, p.rel.LabelColumn) {
+		if op != "=" && op != "!=" {
+			return nil, fmt.Errorf("labels support only = and !=, got %q", op)
+		}
+		return labelCmp{op: op, cat: int(val)}, nil
+	}
+	ci := p.rel.columnIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("unknown column %q", col)
+	}
+	return numCmp{col: ci, op: op, val: val}, nil
+}
+
+// tokenize splits the predicate source into identifiers, numbers,
+// quoted strings, parens, and operators.
+func tokenize(src string) []string {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				j++
+			}
+			if j < len(src) {
+				j++ // include closing quote
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		case c == '!' || c == '<' || c == '>' || c == '=':
+			j := i + 1
+			if j < len(src) && src[j] == '=' {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		default:
+			j := i
+			for j < len(src) && (isIdent(rune(src[j])) || src[j] == '.' || src[j] == '-') {
+				j++
+			}
+			if j == i { // unknown byte: emit as its own token so parsing fails loudly
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+func isIdent(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,180 @@
+// Package reldb is a small in-memory relational layer realizing the
+// paper's database vision (Section III-D and the conclusion): "one can
+// view the result of a query as an attributed graph". It stores typed
+// tables, evaluates SELECT/WHERE/ORDER BY/LIMIT queries with a tiny
+// SQL-style predicate language, and materializes results as
+// nngraph.Table values ready for NN-graph construction and terrain
+// visualization — the full query-to-terrain path the paper sketches on
+// the OSU plant-genus dataset.
+//
+// The predicate grammar is deliberately small but real:
+//
+//	expr   := or
+//	or     := and { OR and }
+//	and    := cmp { AND cmp }
+//	cmp    := column op number | column op 'string' | '(' expr ')' | NOT cmp
+//	op     := = | != | < | <= | > | >=
+//
+// Column references resolve against numeric columns or the label
+// column; string literals compare against label names.
+package reldb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/nngraph"
+)
+
+// Relation is a named table: numeric columns plus an optional
+// categorical label column.
+type Relation struct {
+	Name string
+	// Columns names the numeric attributes.
+	Columns []string
+	// Rows holds one numeric tuple per row.
+	Rows [][]float64
+	// LabelColumn optionally names the categorical column ("" = none).
+	LabelColumn string
+	// Labels holds the per-row category index when LabelColumn is set.
+	Labels []int
+	// LabelNames maps category indices to names.
+	LabelNames []string
+}
+
+// Validate checks relational shape invariants.
+func (r *Relation) Validate() error {
+	for i, row := range r.Rows {
+		if len(row) != len(r.Columns) {
+			return fmt.Errorf("reldb: %s row %d has %d values for %d columns",
+				r.Name, i, len(row), len(r.Columns))
+		}
+	}
+	if r.LabelColumn != "" && len(r.Labels) != len(r.Rows) {
+		return fmt.Errorf("reldb: %s has %d labels for %d rows", r.Name, len(r.Labels), len(r.Rows))
+	}
+	return nil
+}
+
+// columnIndex resolves a numeric column name, or -1.
+func (r *Relation) columnIndex(name string) int {
+	for i, c := range r.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// DB is a collection of named relations.
+type DB struct {
+	relations map[string]*Relation
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{relations: map[string]*Relation{}} }
+
+// Create registers a relation, replacing any previous one of the same
+// name.
+func (db *DB) Create(r *Relation) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if r.Name == "" {
+		return fmt.Errorf("reldb: relation needs a name")
+	}
+	db.relations[r.Name] = r
+	return nil
+}
+
+// Relation looks up a relation by name.
+func (db *DB) Relation(name string) (*Relation, error) {
+	r, ok := db.relations[name]
+	if !ok {
+		return nil, fmt.Errorf("reldb: unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// Query describes a SELECT over one relation.
+type Query struct {
+	// From names the relation.
+	From string
+	// Select lists the numeric columns to project; empty selects all.
+	Select []string
+	// Where is the predicate source text; empty selects every row.
+	Where string
+	// OrderBy optionally names a projected column to sort ascending
+	// by; prefix with '-' for descending.
+	OrderBy string
+	// Limit > 0 truncates the result.
+	Limit int
+}
+
+// Run evaluates the query and returns the materialized result as an
+// nngraph.Table: projected numeric columns become attributes, the
+// label column (if any) rides along for terrain coloring.
+func (db *DB) Run(q Query) (*nngraph.Table, error) {
+	rel, err := db.Relation(q.From)
+	if err != nil {
+		return nil, err
+	}
+	var pred expr
+	if q.Where != "" {
+		pred, err = parsePredicate(q.Where, rel)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cols := q.Select
+	if len(cols) == 0 {
+		cols = rel.Columns
+	}
+	proj := make([]int, len(cols))
+	for i, c := range cols {
+		proj[i] = rel.columnIndex(c)
+		if proj[i] < 0 {
+			return nil, fmt.Errorf("reldb: unknown column %q in SELECT", c)
+		}
+	}
+
+	var rowIdx []int
+	for i := range rel.Rows {
+		if pred == nil || pred.eval(rel, i) {
+			rowIdx = append(rowIdx, i)
+		}
+	}
+
+	if q.OrderBy != "" {
+		key, desc := q.OrderBy, false
+		if key[0] == '-' {
+			key, desc = key[1:], true
+		}
+		k := rel.columnIndex(key)
+		if k < 0 {
+			return nil, fmt.Errorf("reldb: unknown column %q in ORDER BY", key)
+		}
+		sort.SliceStable(rowIdx, func(a, b int) bool {
+			if desc {
+				return rel.Rows[rowIdx[a]][k] > rel.Rows[rowIdx[b]][k]
+			}
+			return rel.Rows[rowIdx[a]][k] < rel.Rows[rowIdx[b]][k]
+		})
+	}
+	if q.Limit > 0 && len(rowIdx) > q.Limit {
+		rowIdx = rowIdx[:q.Limit]
+	}
+
+	out := &nngraph.Table{Attributes: cols, LabelNames: rel.LabelNames}
+	for _, i := range rowIdx {
+		row := make([]float64, len(proj))
+		for j, c := range proj {
+			row[j] = rel.Rows[i][c]
+		}
+		out.Rows = append(out.Rows, row)
+		if rel.LabelColumn != "" {
+			out.Labels = append(out.Labels, rel.Labels[i])
+		}
+	}
+	return out, nil
+}

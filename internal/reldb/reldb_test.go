@@ -1,0 +1,183 @@
+package reldb
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/nngraph"
+)
+
+func plantRelation() *Relation {
+	return &Relation{
+		Name:    "plants",
+		Columns: []string{"attr1", "attr2", "height"},
+		Rows: [][]float64{
+			{10, 1.0, 30},
+			{12, 1.1, 45},
+			{50, 2.0, 20},
+			{52, 2.2, 22},
+			{90, 0.5, 60},
+			{95, 0.4, 65},
+		},
+		LabelColumn: "genus",
+		Labels:      []int{0, 0, 1, 1, 2, 2},
+		LabelNames:  []string{"acer", "quercus", "salix"},
+	}
+}
+
+func mustRun(t *testing.T, db *DB, q Query) *nngraph.Table {
+	t.Helper()
+	out, err := db.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func newPlantDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	if err := db.Create(plantRelation()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSelectAll(t *testing.T) {
+	db := newPlantDB(t)
+	out := mustRun(t, db, Query{From: "plants"})
+	if len(out.Rows) != 6 || len(out.Attributes) != 3 {
+		t.Fatalf("SELECT *: %d rows × %d cols", len(out.Rows), len(out.Attributes))
+	}
+	if !reflect.DeepEqual(out.Labels, []int{0, 0, 1, 1, 2, 2}) {
+		t.Fatalf("labels not carried: %v", out.Labels)
+	}
+}
+
+func TestProjection(t *testing.T) {
+	db := newPlantDB(t)
+	out := mustRun(t, db, Query{From: "plants", Select: []string{"height", "attr1"}})
+	if !reflect.DeepEqual(out.Attributes, []string{"height", "attr1"}) {
+		t.Fatalf("attributes %v", out.Attributes)
+	}
+	if out.Rows[0][0] != 30 || out.Rows[0][1] != 10 {
+		t.Fatalf("projection reordered wrong: %v", out.Rows[0])
+	}
+}
+
+func TestWhereNumeric(t *testing.T) {
+	db := newPlantDB(t)
+	out := mustRun(t, db, Query{From: "plants", Where: "attr1 >= 50 AND height < 60"})
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows %d, want 2 (the quercus pair)", len(out.Rows))
+	}
+	for _, l := range out.Labels {
+		if l != 1 {
+			t.Fatalf("labels %v, want all quercus", out.Labels)
+		}
+	}
+}
+
+func TestWhereLabelByName(t *testing.T) {
+	db := newPlantDB(t)
+	out := mustRun(t, db, Query{From: "plants", Where: "genus = 'salix'"})
+	if len(out.Rows) != 2 || out.Rows[0][0] != 90 {
+		t.Fatalf("salix query: %v", out.Rows)
+	}
+	out = mustRun(t, db, Query{From: "plants", Where: "genus != 'salix'"})
+	if len(out.Rows) != 4 {
+		t.Fatalf("negated label: %d rows", len(out.Rows))
+	}
+}
+
+func TestWhereLabelNumeric(t *testing.T) {
+	db := newPlantDB(t)
+	out := mustRun(t, db, Query{From: "plants", Where: "genus = 2"})
+	if len(out.Rows) != 2 {
+		t.Fatalf("genus = 2: %d rows", len(out.Rows))
+	}
+}
+
+func TestWhereOrParensNot(t *testing.T) {
+	db := newPlantDB(t)
+	out := mustRun(t, db, Query{From: "plants", Where: "(genus = 'acer' OR genus = 'salix') AND NOT height > 60"})
+	// acer rows (30, 45) and the salix row at 60.
+	if len(out.Rows) != 3 {
+		t.Fatalf("compound predicate: %d rows, want 3", len(out.Rows))
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	db := newPlantDB(t)
+	out := mustRun(t, db, Query{From: "plants", OrderBy: "-height", Limit: 2})
+	if len(out.Rows) != 2 || out.Rows[0][2] != 65 || out.Rows[1][2] != 60 {
+		t.Fatalf("ORDER BY -height LIMIT 2: %v", out.Rows)
+	}
+	out = mustRun(t, db, Query{From: "plants", OrderBy: "height", Limit: 1})
+	if out.Rows[0][2] != 20 {
+		t.Fatalf("ORDER BY height LIMIT 1: %v", out.Rows)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := newPlantDB(t)
+	bad := []Query{
+		{From: "nope"},
+		{From: "plants", Select: []string{"nope"}},
+		{From: "plants", Where: "nope > 3"},
+		{From: "plants", Where: "attr1 >"},
+		{From: "plants", Where: "attr1 > 3 extra"},
+		{From: "plants", Where: "attr1 ~ 3"},
+		{From: "plants", Where: "(attr1 > 3"},
+		{From: "plants", Where: "genus > 'acer'"},
+		{From: "plants", Where: "genus = 'unknowngenus'"},
+		{From: "plants", Where: "attr1 = abc"},
+		{From: "plants", OrderBy: "nope"},
+		{From: "plants", Where: "attr1 = 'acer'"},
+	}
+	for _, q := range bad {
+		if _, err := db.Run(q); err == nil {
+			t.Fatalf("query %+v should fail", q)
+		}
+	}
+}
+
+func TestCreateValidates(t *testing.T) {
+	db := NewDB()
+	if err := db.Create(&Relation{Columns: []string{"a"}}); err == nil {
+		t.Fatal("unnamed relation should be rejected")
+	}
+	if err := db.Create(&Relation{Name: "r", Columns: []string{"a"}, Rows: [][]float64{{1, 2}}}); err == nil {
+		t.Fatal("ragged relation should be rejected")
+	}
+	if err := db.Create(&Relation{Name: "r", Columns: []string{"a"},
+		Rows: [][]float64{{1}}, LabelColumn: "l", Labels: []int{0, 1}}); err == nil {
+		t.Fatal("label length mismatch should be rejected")
+	}
+}
+
+func TestQueryToNNGraphPipeline(t *testing.T) {
+	// The full Section III-D path: query → table → NN graph → scalar
+	// field per attribute.
+	db := newPlantDB(t)
+	out := mustRun(t, db, Query{From: "plants", Where: "height >= 20"})
+	g, err := nngraph.Build(out, nngraph.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != len(out.Rows) {
+		t.Fatalf("NN graph %d vertices for %d rows", g.NumVertices(), len(out.Rows))
+	}
+	field := out.Column(0)
+	if len(field) != g.NumVertices() {
+		t.Fatal("attribute column is not a valid scalar field")
+	}
+}
+
+func TestTokenizeQuotedAndOps(t *testing.T) {
+	toks := tokenize("a>=3 AND (b!='x y') OR c<-2")
+	want := []string{"a", ">=", "3", "AND", "(", "b", "!=", "'x y'", ")", "OR", "c", "<", "-2"}
+	if !reflect.DeepEqual(toks, want) {
+		t.Fatalf("tokenize = %q, want %q", toks, want)
+	}
+}

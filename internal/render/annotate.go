@@ -1,0 +1,61 @@
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"image/color"
+	"io"
+
+	"repro/internal/terrain"
+)
+
+// AnnotatedBoundarySVG writes the nested-boundary SVG with the top-K
+// peaks at cut height alpha labeled — the counterpart of the paper's
+// figure annotations ("K1", "K2") that point readers at the densest
+// components. Labels are placed at each peak's boundary center with a
+// rank, its top scalar, and its component size.
+func AnnotatedBoundarySVG(w io.Writer, l *terrain.Layout, nodeColor []color.RGBA, size int, alpha float64, topK int) error {
+	if size <= 0 {
+		size = 720
+	}
+	// Reuse the plain boundary rendering, then append the labels
+	// before closing the document.
+	var inner svgCapture
+	if err := BoundarySVG(&inner, l, nodeColor, size); err != nil {
+		return err
+	}
+	body := inner.buf
+	if len(body) < len("</svg>\n") {
+		return fmt.Errorf("render: boundary SVG unexpectedly short")
+	}
+	body = body[:len(body)-len("</svg>\n")]
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(body); err != nil {
+		return err
+	}
+	peaks := l.PeaksAt(alpha)
+	if topK > 0 && len(peaks) > topK {
+		peaks = peaks[:topK]
+	}
+	s := float64(size)
+	for i, p := range peaks {
+		cx := (p.Bounds.X0 + p.Bounds.X1) / 2 * s
+		cy := (p.Bounds.Y0 + p.Bounds.Y1) / 2 * s
+		fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="11" fill="#ffffff" fill-opacity="0.85" stroke="#333"/>`+"\n", cx, cy)
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" font-size="12" font-family="sans-serif" text-anchor="middle" fill="#111">K%d</text>`+"\n",
+			cx, cy+4, i+1)
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" font-size="9" font-family="sans-serif" text-anchor="middle" fill="#333">top %.4g · %d items</text>`+"\n",
+			cx, cy+18, p.Top, p.Items)
+	}
+	fmt.Fprint(bw, "</svg>\n")
+	return bw.Flush()
+}
+
+// svgCapture buffers writes so the closing tag can be stripped.
+type svgCapture struct{ buf []byte }
+
+func (c *svgCapture) Write(p []byte) (int, error) {
+	c.buf = append(c.buf, p...)
+	return len(p), nil
+}

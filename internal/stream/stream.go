@@ -1,0 +1,198 @@
+// Package stream maintains the maximal α-connected components of a
+// growing scalar graph incrementally. The paper's conclusion envisions
+// embedding the analysis in a database, where the attributed graph is
+// a live object: rows arrive, derived measures are re-scored upward,
+// and the analyst watches components-of-interest (k-cores, communities)
+// merge. Rebuilding the scalar tree on every update costs
+// O(|E|·α(|V|) + |V|·log|V|); this package answers the restricted but
+// common standing query — "track the maximal α-components for a fixed
+// α" — in amortized near-constant time per update.
+//
+// The monotone update model makes this exact: vertices may be added,
+// edges may be added, and scalar values may only increase. Under those
+// rules a vertex, once above the threshold, stays above it, and
+// components only ever merge — exactly the regime where union-find is
+// the right tool (the same observation that powers Algorithm 1's
+// descending sweep).
+//
+// Non-monotone changes (scalar decreases, edge deletions) split
+// components and need fully-dynamic connectivity; for those, rebuild
+// the scalar tree via internal/core.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/unionfind"
+)
+
+// Monitor tracks the maximal α-connected components of a scalar graph
+// under monotone updates for one fixed threshold α.
+type Monitor struct {
+	alpha  float64
+	scalar []float64
+	uf     *unionfind.DSU
+	active []bool
+	// adj holds, for each currently-inactive vertex, the neighbors
+	// accumulated so far; active vertices resolve edges eagerly and
+	// keep no list.
+	pending [][]int32
+	comps   int // number of live components
+	merges  int // total merge events observed
+}
+
+// NewMonitor creates a Monitor with n initial vertices, their scalar
+// values, and the threshold α. Vertices with value >= α are active
+// immediately; edges are added afterwards with AddEdge.
+func NewMonitor(alpha float64, values []float64) *Monitor {
+	m := &Monitor{
+		alpha:   alpha,
+		scalar:  append([]float64(nil), values...),
+		uf:      unionfind.New(len(values)),
+		active:  make([]bool, len(values)),
+		pending: make([][]int32, len(values)),
+	}
+	for v, s := range values {
+		if s >= alpha {
+			m.active[v] = true
+			m.comps++
+		}
+	}
+	return m
+}
+
+// NumVertices reports the current vertex count.
+func (m *Monitor) NumVertices() int { return len(m.scalar) }
+
+// Components reports the number of maximal α-connected components.
+func (m *Monitor) Components() int { return m.comps }
+
+// Merges reports the cumulative number of component-merge events, the
+// signal a standing query would alert on.
+func (m *Monitor) Merges() int { return m.merges }
+
+// AddVertex appends a vertex with the given scalar value and returns
+// its ID.
+func (m *Monitor) AddVertex(value float64) int32 {
+	id := int32(len(m.scalar))
+	m.scalar = append(m.scalar, value)
+	m.pending = append(m.pending, nil)
+	m.active = append(m.active, false)
+	m.uf.Grow(1)
+	if value >= m.alpha {
+		m.active[id] = true
+		m.comps++
+	}
+	return id
+}
+
+// AddEdge records an undirected edge. If both endpoints are active the
+// edge may merge two components (returned as merged=true); otherwise
+// it is parked on the inactive endpoint(s) and replayed when they
+// activate.
+func (m *Monitor) AddEdge(u, v int32) (merged bool, err error) {
+	n := int32(len(m.scalar))
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return false, fmt.Errorf("stream: edge (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return false, nil
+	}
+	if m.active[u] && m.active[v] {
+		return m.union(u, v), nil
+	}
+	// Park the edge on each inactive endpoint; when that endpoint
+	// activates, the edge is replayed. Parking on both sides would
+	// replay twice, which is harmless (union is idempotent), but we
+	// avoid the duplicate work by parking on one inactive side only.
+	if !m.active[u] {
+		m.pending[u] = append(m.pending[u], v)
+	} else {
+		m.pending[v] = append(m.pending[v], u)
+	}
+	return false, nil
+}
+
+// RaiseScalar increases vertex v's value. Decreases are rejected: they
+// would split components, which the monotone model excludes. When the
+// new value crosses α the vertex activates and its parked edges replay.
+func (m *Monitor) RaiseScalar(v int32, value float64) error {
+	if v < 0 || int(v) >= len(m.scalar) {
+		return fmt.Errorf("stream: vertex %d out of range", v)
+	}
+	if value < m.scalar[v] {
+		return fmt.Errorf("stream: scalar of %d may only increase (%g -> %g)", v, m.scalar[v], value)
+	}
+	m.scalar[v] = value
+	if m.active[v] || value < m.alpha {
+		return nil
+	}
+	m.active[v] = true
+	m.comps++
+	for _, u := range m.pending[v] {
+		if m.active[u] {
+			m.union(v, u)
+		} else {
+			// Still inactive on the far side: repark there so the edge
+			// replays when u activates.
+			m.pending[u] = append(m.pending[u], v)
+		}
+	}
+	m.pending[v] = nil
+	return nil
+}
+
+// union merges the components of two active vertices, updating the
+// component count; reports whether a merge actually happened.
+func (m *Monitor) union(u, v int32) bool {
+	if m.uf.Union(int(u), int(v)) {
+		m.comps--
+		m.merges++
+		return true
+	}
+	return false
+}
+
+// SameComponent reports whether two vertices are currently in the same
+// maximal α-connected component (false unless both are active).
+func (m *Monitor) SameComponent(u, v int32) bool {
+	if u < 0 || v < 0 || int(u) >= len(m.scalar) || int(v) >= len(m.scalar) {
+		return false
+	}
+	if !m.active[u] || !m.active[v] {
+		return false
+	}
+	return m.uf.Find(int(u)) == m.uf.Find(int(v))
+}
+
+// ComponentOf returns the vertices of v's maximal α-connected
+// component, or nil if v is below the threshold. O(n) per call — this
+// is the reporting path, not the update path.
+func (m *Monitor) ComponentOf(v int32) []int32 {
+	if v < 0 || int(v) >= len(m.scalar) || !m.active[v] {
+		return nil
+	}
+	root := m.uf.Find(int(v))
+	var out []int32
+	for u := 0; u < len(m.scalar); u++ {
+		if m.active[u] && m.uf.Find(u) == root {
+			out = append(out, int32(u))
+		}
+	}
+	return out
+}
+
+// ComponentSizes returns the size of every live component, unordered.
+func (m *Monitor) ComponentSizes() []int {
+	counts := map[int]int{}
+	for v := 0; v < len(m.scalar); v++ {
+		if m.active[v] {
+			counts[m.uf.Find(v)]++
+		}
+	}
+	out := make([]int, 0, len(counts))
+	for _, c := range counts {
+		out = append(out, c)
+	}
+	return out
+}

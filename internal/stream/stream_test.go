@@ -1,0 +1,271 @@
+package stream
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// oracle recomputes maximal α-components from scratch.
+type oracle struct {
+	alpha  float64
+	values []float64
+	edges  [][2]int32
+}
+
+func (o *oracle) components() [][]int32 {
+	n := len(o.values)
+	adj := make([][]int32, n)
+	for _, e := range o.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int32
+	for v := 0; v < n; v++ {
+		if comp[v] >= 0 || o.values[v] < o.alpha {
+			continue
+		}
+		id := len(comps)
+		var set []int32
+		stack := []int32{int32(v)}
+		comp[v] = id
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			set = append(set, x)
+			for _, u := range adj[x] {
+				if comp[u] < 0 && o.values[u] >= o.alpha {
+					comp[u] = id
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+		comps = append(comps, set)
+	}
+	return comps
+}
+
+func (o *oracle) sameComponent(u, v int32) bool {
+	for _, c := range o.components() {
+		inU, inV := false, false
+		for _, x := range c {
+			if x == u {
+				inU = true
+			}
+			if x == v {
+				inV = true
+			}
+		}
+		if inU && inV {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMonitorBasicMerge(t *testing.T) {
+	m := NewMonitor(5, []float64{6, 6, 3})
+	if m.Components() != 2 {
+		t.Fatalf("initial components %d, want 2", m.Components())
+	}
+	merged, err := m.AddEdge(0, 1)
+	if err != nil || !merged {
+		t.Fatalf("AddEdge(0,1) = (%v, %v), want merge", merged, err)
+	}
+	if m.Components() != 1 || m.Merges() != 1 {
+		t.Fatalf("after merge: comps=%d merges=%d", m.Components(), m.Merges())
+	}
+	// Vertex 2 is below threshold: the edge parks.
+	if merged, _ := m.AddEdge(1, 2); merged {
+		t.Fatal("edge to inactive vertex must not merge")
+	}
+	if m.SameComponent(1, 2) {
+		t.Fatal("inactive vertex reported in a component")
+	}
+	// Raising 2's scalar across α activates it and replays the edge.
+	if err := m.RaiseScalar(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !m.SameComponent(1, 2) || m.Components() != 1 {
+		t.Fatalf("replayed edge should join 2: comps=%d", m.Components())
+	}
+}
+
+func TestMonitorRejectsDecrease(t *testing.T) {
+	m := NewMonitor(1, []float64{3})
+	if err := m.RaiseScalar(0, 2); err == nil {
+		t.Fatal("scalar decrease must be rejected")
+	}
+	if err := m.RaiseScalar(5, 9); err == nil {
+		t.Fatal("out-of-range vertex must be rejected")
+	}
+	if _, err := m.AddEdge(0, 9); err == nil {
+		t.Fatal("out-of-range edge must be rejected")
+	}
+}
+
+func TestMonitorSelfLoopIgnored(t *testing.T) {
+	m := NewMonitor(0, []float64{1})
+	if merged, err := m.AddEdge(0, 0); merged || err != nil {
+		t.Fatalf("self-loop: (%v, %v)", merged, err)
+	}
+}
+
+func TestMonitorAddVertex(t *testing.T) {
+	m := NewMonitor(2, []float64{5})
+	id := m.AddVertex(7)
+	if id != 1 {
+		t.Fatalf("new vertex id %d, want 1", id)
+	}
+	if m.Components() != 2 {
+		t.Fatalf("components %d, want 2", m.Components())
+	}
+	if merged, _ := m.AddEdge(0, id); !merged {
+		t.Fatal("edge between two active vertices must merge")
+	}
+	low := m.AddVertex(0.5)
+	if m.Components() != 1 {
+		t.Fatalf("below-threshold vertex must not add a component: %d", m.Components())
+	}
+	if got := m.ComponentOf(low); got != nil {
+		t.Fatalf("ComponentOf(inactive) = %v, want nil", got)
+	}
+}
+
+func TestMonitorBothInactiveThenActivateInEitherOrder(t *testing.T) {
+	for _, firstUp := range []int32{0, 1} {
+		m := NewMonitor(10, []float64{1, 1})
+		if merged, _ := m.AddEdge(0, 1); merged {
+			t.Fatal("edge between inactive endpoints must not merge")
+		}
+		secondUp := 1 - firstUp
+		if err := m.RaiseScalar(firstUp, 10); err != nil {
+			t.Fatal(err)
+		}
+		if m.SameComponent(0, 1) {
+			t.Fatal("one active endpoint is not a component of two")
+		}
+		if err := m.RaiseScalar(secondUp, 12); err != nil {
+			t.Fatal(err)
+		}
+		if !m.SameComponent(0, 1) {
+			t.Fatalf("activation order %d-first: edge not replayed", firstUp)
+		}
+		if m.Components() != 1 {
+			t.Fatalf("components %d, want 1", m.Components())
+		}
+	}
+}
+
+func TestMonitorAgainstOracleRandomized(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := 5.0
+		start := 5
+		values := make([]float64, start)
+		for i := range values {
+			values[i] = rng.Float64() * 10
+		}
+		m := NewMonitor(alpha, values)
+		o := &oracle{alpha: alpha, values: append([]float64(nil), values...)}
+
+		for step := 0; step < 300; step++ {
+			n := int32(len(o.values))
+			switch rng.Intn(4) {
+			case 0: // add vertex
+				val := rng.Float64() * 10
+				m.AddVertex(val)
+				o.values = append(o.values, val)
+			case 1, 2: // add edge
+				if n < 2 {
+					continue
+				}
+				u, v := rng.Int31n(n), rng.Int31n(n)
+				if u == v {
+					continue
+				}
+				if _, err := m.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+				o.edges = append(o.edges, [2]int32{u, v})
+			case 3: // raise a scalar
+				v := rng.Int31n(n)
+				nv := o.values[v] + rng.Float64()*3
+				if err := m.RaiseScalar(v, nv); err != nil {
+					t.Fatal(err)
+				}
+				o.values[v] = nv
+			}
+
+			want := o.components()
+			if m.Components() != len(want) {
+				t.Fatalf("seed %d step %d: %d components, oracle %d",
+					seed, step, m.Components(), len(want))
+			}
+			// Spot-check membership relations.
+			for trial := 0; trial < 5; trial++ {
+				nn := int32(len(o.values))
+				u, v := rng.Int31n(nn), rng.Int31n(nn)
+				if m.SameComponent(u, v) != o.sameComponent(u, v) {
+					t.Fatalf("seed %d step %d: SameComponent(%d,%d) = %v, oracle disagrees",
+						seed, step, u, v, m.SameComponent(u, v))
+				}
+			}
+		}
+
+		// Full final cross-check of every component's member set.
+		want := o.components()
+		seen := map[int32]bool{}
+		for _, comp := range want {
+			got := m.ComponentOf(comp[0])
+			if !reflect.DeepEqual(got, comp) {
+				t.Fatalf("seed %d: ComponentOf(%d) = %v, oracle %v", seed, comp[0], got, comp)
+			}
+			for _, v := range comp {
+				seen[v] = true
+			}
+		}
+		sizes := m.ComponentSizes()
+		total := 0
+		for _, s := range sizes {
+			total += s
+		}
+		if total != len(seen) || len(sizes) != len(want) {
+			t.Fatalf("seed %d: sizes %v inconsistent with oracle (%d comps, %d members)",
+				seed, sizes, len(want), len(seen))
+		}
+	}
+}
+
+func TestMonitorMergesMonotone(t *testing.T) {
+	// Merge count equals (activations) - (components): each activation
+	// adds one, each merge removes one.
+	rng := rand.New(rand.NewSource(99))
+	values := make([]float64, 40)
+	actives := 0
+	for i := range values {
+		values[i] = rng.Float64() * 10
+		if values[i] >= 5 {
+			actives++
+		}
+	}
+	m := NewMonitor(5, values)
+	for i := 0; i < 200; i++ {
+		u, v := rng.Int31n(40), rng.Int31n(40)
+		if u != v {
+			if _, err := m.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if m.Merges() != actives-m.Components() {
+		t.Fatalf("merges %d != activations %d - components %d",
+			m.Merges(), actives, m.Components())
+	}
+}

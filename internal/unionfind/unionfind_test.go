@@ -1,0 +1,212 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSingletons(t *testing.T) {
+	d := New(5)
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len())
+	}
+	if d.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", d.Count())
+	}
+	for i := 0; i < 5; i++ {
+		if got := d.Find(i); got != i {
+			t.Errorf("Find(%d) = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestUnionMergesSets(t *testing.T) {
+	d := New(4)
+	if !d.Union(0, 1) {
+		t.Fatal("Union(0,1) = false, want true")
+	}
+	if !d.Same(0, 1) {
+		t.Error("0 and 1 should be in the same set")
+	}
+	if d.Same(0, 2) {
+		t.Error("0 and 2 should be in different sets")
+	}
+	if d.Count() != 3 {
+		t.Errorf("Count = %d, want 3", d.Count())
+	}
+}
+
+func TestUnionIdempotent(t *testing.T) {
+	d := New(3)
+	d.Union(0, 1)
+	if d.Union(1, 0) {
+		t.Error("second Union(1,0) = true, want false")
+	}
+	if d.Count() != 2 {
+		t.Errorf("Count = %d, want 2", d.Count())
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	d := New(6)
+	d.Union(0, 1)
+	d.Union(1, 2)
+	d.Union(3, 4)
+	if !d.Same(0, 2) {
+		t.Error("0 and 2 should be connected transitively")
+	}
+	if d.Same(2, 3) {
+		t.Error("2 and 3 should be disconnected")
+	}
+	d.Union(2, 3)
+	if !d.Same(0, 4) {
+		t.Error("after bridging, 0 and 4 should be connected")
+	}
+	if d.Count() != 2 {
+		t.Errorf("Count = %d, want 2 (the big set and {5})", d.Count())
+	}
+}
+
+func TestUnionIntoPreservesRoot(t *testing.T) {
+	d := New(10)
+	// Build a chain 1..9 merged into 0's set, always keeping 0 as root.
+	for i := 1; i < 10; i++ {
+		d.UnionInto(0, i)
+		if got := d.Find(i); got != 0 {
+			t.Fatalf("after UnionInto(0,%d): Find(%d) = %d, want 0", i, i, got)
+		}
+	}
+}
+
+func TestUnionIntoChainedRoots(t *testing.T) {
+	d := New(4)
+	d.UnionInto(1, 0) // root 1
+	d.UnionInto(2, 1) // root 2
+	d.UnionInto(3, 2) // root 3
+	for i := 0; i < 4; i++ {
+		if got := d.Find(i); got != 3 {
+			t.Errorf("Find(%d) = %d, want 3", i, got)
+		}
+	}
+}
+
+func TestUnionIntoSameSet(t *testing.T) {
+	d := New(3)
+	d.UnionInto(0, 1)
+	if d.UnionInto(1, 0) {
+		t.Error("UnionInto on same set should return false")
+	}
+}
+
+func TestAgainstNaive(t *testing.T) {
+	const n = 200
+	rng := rand.New(rand.NewSource(42))
+	d := New(n)
+	naive := NewNaive(n)
+	for i := 0; i < 500; i++ {
+		x, y := rng.Intn(n), rng.Intn(n)
+		gotFast := d.Union(x, y)
+		gotNaive := naive.Union(x, y)
+		if gotFast != gotNaive {
+			t.Fatalf("op %d: Union(%d,%d) fast=%v naive=%v", i, x, y, gotFast, gotNaive)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		x, y := rng.Intn(n), rng.Intn(n)
+		if (d.Find(x) == d.Find(y)) != (naive.Find(x) == naive.Find(y)) {
+			t.Fatalf("connectivity of (%d,%d) disagrees with naive", x, y)
+		}
+	}
+}
+
+func TestQuickUnionFindIsEquivalence(t *testing.T) {
+	// Property: after any sequence of unions, Same is reflexive,
+	// symmetric, and transitive.
+	f := func(pairs []struct{ A, B uint8 }) bool {
+		const n = 64
+		d := New(n)
+		for _, p := range pairs {
+			d.Union(int(p.A)%n, int(p.B)%n)
+		}
+		for i := 0; i < n; i++ {
+			if !d.Same(i, i) {
+				return false
+			}
+		}
+		for i := 0; i < n; i += 7 {
+			for j := 0; j < n; j += 5 {
+				if d.Same(i, j) != d.Same(j, i) {
+					return false
+				}
+				for k := 0; k < n; k += 11 {
+					if d.Same(i, j) && d.Same(j, k) && !d.Same(i, k) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCountMatchesComponents(t *testing.T) {
+	// Property: Count always equals the number of distinct roots.
+	f := func(pairs []struct{ A, B uint8 }) bool {
+		const n = 48
+		d := New(n)
+		for _, p := range pairs {
+			d.Union(int(p.A)%n, int(p.B)%n)
+		}
+		roots := map[int]bool{}
+		for i := 0; i < n; i++ {
+			roots[d.Find(i)] = true
+		}
+		return len(roots) == d.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([][2]int, n)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(n)
+		for _, p := range pairs {
+			d.Union(p[0], p[1])
+		}
+	}
+}
+
+func TestGrow(t *testing.T) {
+	d := New(2)
+	d.Union(0, 1)
+	d.Grow(3)
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d after Grow(3), want 5", d.Len())
+	}
+	if d.Count() != 4 {
+		t.Fatalf("Count = %d, want 4 ({0,1},{2},{3},{4})", d.Count())
+	}
+	for i := 2; i < 5; i++ {
+		if d.Find(i) != i {
+			t.Fatalf("grown element %d not a singleton root", i)
+		}
+	}
+	if !d.Union(1, 4) {
+		t.Fatal("union of old and grown element failed")
+	}
+	if !d.Same(0, 4) {
+		t.Fatal("grown element not connected after union")
+	}
+}

@@ -1,0 +1,153 @@
+package userstudy
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/graph"
+)
+
+func testGraph(name string) *graph.Graph {
+	g, err := datasets.Generate(name, 0.05, 42)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestSimulateTask1TerrainFastestAndMostAccurate(t *testing.T) {
+	for _, name := range []string{"GrQc", "PPI", "DBLP"} {
+		g := testGraph(name)
+		terr, err := Simulate(g, ToolTerrain, Task1DensestCore, 10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lanet, err := Simulate(g, ToolLaNetVi, Task1DensestCore, 10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oo, err := Simulate(g, ToolOpenOrd, Task1DensestCore, 10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if terr.MeanTime >= lanet.MeanTime || terr.MeanTime >= oo.MeanTime {
+			t.Errorf("%s task1: terrain %.1fs not fastest (lanet %.1f, openord %.1f)",
+				name, terr.MeanTime, lanet.MeanTime, oo.MeanTime)
+		}
+		if terr.Accuracy < lanet.Accuracy || terr.Accuracy < oo.Accuracy {
+			t.Errorf("%s task1: terrain accuracy %.2f below baselines (%.2f, %.2f)",
+				name, terr.Accuracy, lanet.Accuracy, oo.Accuracy)
+		}
+		if terr.Accuracy < 0.9 {
+			t.Errorf("%s task1: terrain accuracy %.2f, want >= 0.9", name, terr.Accuracy)
+		}
+	}
+}
+
+func TestSimulateTask2GapWidens(t *testing.T) {
+	g := testGraph("PPI")
+	terr, _ := Simulate(g, ToolTerrain, Task2SecondCore, 10, 2)
+	lanet, _ := Simulate(g, ToolLaNetVi, Task2SecondCore, 10, 2)
+	oo, _ := Simulate(g, ToolOpenOrd, Task2SecondCore, 10, 2)
+	if terr.Accuracy < lanet.Accuracy || terr.Accuracy < oo.Accuracy {
+		t.Errorf("task2: terrain accuracy %.2f below baselines (%.2f, %.2f)",
+			terr.Accuracy, lanet.Accuracy, oo.Accuracy)
+	}
+	// The paper's Table V: LaNet-vi collapses on PPI (0.2 accuracy);
+	// our model must at least show it clearly below terrain.
+	if lanet.Accuracy > terr.Accuracy-0.05 {
+		t.Errorf("task2: LaNet-vi accuracy %.2f too close to terrain %.2f",
+			lanet.Accuracy, terr.Accuracy)
+	}
+	if terr.MeanTime >= lanet.MeanTime {
+		t.Errorf("task2: terrain %.1fs not faster than LaNet-vi %.1fs",
+			terr.MeanTime, lanet.MeanTime)
+	}
+}
+
+func TestSimulateTask3(t *testing.T) {
+	g := testGraph("Astro")
+	terr, err := Simulate(g, ToolTerrain, Task3Correlation, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oo, err := Simulate(g, ToolOpenOrd, Task3Correlation, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terr.Accuracy < oo.Accuracy {
+		t.Errorf("task3: terrain accuracy %.2f below OpenOrd %.2f", terr.Accuracy, oo.Accuracy)
+	}
+	if terr.MeanTime >= oo.MeanTime {
+		t.Errorf("task3: terrain %.1fs not faster than OpenOrd %.1fs", terr.MeanTime, oo.MeanTime)
+	}
+	// LaNet-vi cannot display two centralities (paper, Section IV-A).
+	if _, err := Simulate(g, ToolLaNetVi, Task3Correlation, 10, 3); err == nil {
+		t.Error("LaNet-vi on task 3 must error")
+	}
+}
+
+func TestSimulateBounds(t *testing.T) {
+	g := testGraph("GrQc")
+	for _, tool := range []Tool{ToolTerrain, ToolLaNetVi, ToolOpenOrd} {
+		for _, task := range []Task{Task1DensestCore, Task2SecondCore} {
+			r, err := Simulate(g, tool, task, 10, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Accuracy < 0 || r.Accuracy > 1 {
+				t.Errorf("%s/%d accuracy %g out of range", tool, task, r.Accuracy)
+			}
+			if r.MeanTime <= 0 || r.MeanTime > 120 {
+				t.Errorf("%s/%d mean time %g implausible", tool, task, r.MeanTime)
+			}
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	g := testGraph("DBLP")
+	a, _ := Simulate(g, ToolLaNetVi, Task1DensestCore, 10, 7)
+	b, _ := Simulate(g, ToolLaNetVi, Task1DensestCore, 10, 7)
+	if a != b {
+		t.Errorf("same seed produced %+v and %+v", a, b)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	g := testGraph("GrQc")
+	if _, err := Simulate(g, Tool("Gephi"), Task1DensestCore, 5, 1); err == nil {
+		t.Error("unknown tool must error")
+	}
+	if _, err := Simulate(g, ToolTerrain, Task(9), 5, 1); err == nil {
+		t.Error("unknown task must error")
+	}
+}
+
+func TestSimulateDefaultParticipants(t *testing.T) {
+	g := testGraph("GrQc")
+	r, err := Simulate(g, ToolTerrain, Task1DensestCore, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy < 0 || r.Accuracy > 1 {
+		t.Errorf("accuracy %g", r.Accuracy)
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	g := testGraph("GrQc")
+	st := collectStats(g)
+	if st.maxCore <= 0 {
+		t.Error("maxCore should be positive on GrQc stand-in")
+	}
+	if st.topShellSize <= 0 || st.topComponents <= 0 {
+		t.Errorf("top shell stats: size=%d comps=%d", st.topShellSize, st.topComponents)
+	}
+	if st.peaksHigh <= 0 {
+		t.Error("no high peaks found")
+	}
+	if st.saliency < 0 || st.saliency > 1 || st.occlusion < 0 || st.occlusion > 1 {
+		t.Errorf("saliency=%g occlusion=%g out of [0,1]", st.saliency, st.occlusion)
+	}
+}

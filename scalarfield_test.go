@@ -1,0 +1,228 @@
+package scalarfield
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/datasets"
+)
+
+func demoGraph() *Graph {
+	// Two K5s bridged by a path, plus a pendant: two clear peaks.
+	b := NewBuilder(13)
+	for i := int32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(i+5, j+5)
+		}
+	}
+	b.AddEdge(4, 10)
+	b.AddEdge(10, 5)
+	b.AddEdge(10, 11)
+	b.AddEdge(11, 12)
+	return b.Build()
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	g := demoGraph()
+	terr, err := NewVertexTerrain(g, CoreNumbers(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two K5s are 4-cores: exactly two peaks at α=4.
+	peaks := terr.Peaks(4)
+	if len(peaks) != 2 {
+		t.Fatalf("peaks at 4 = %d, want 2", len(peaks))
+	}
+	for _, p := range peaks {
+		items := terr.PeakItems(p)
+		if len(items) != 5 {
+			t.Errorf("peak has %d items, want 5 (a K5)", len(items))
+		}
+	}
+	comps := terr.Components(4)
+	if len(comps) != 2 {
+		t.Errorf("components at 4 = %d, want 2", len(comps))
+	}
+}
+
+func TestLoadEdgeList(t *testing.T) {
+	g, orig, err := LoadEdgeList(strings.NewReader("1 2\n2 3\n3 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if len(orig) != 3 {
+		t.Fatalf("orig = %v", orig)
+	}
+}
+
+func TestMeasuresExposed(t *testing.T) {
+	g := demoGraph()
+	if len(CoreNumbers(g)) != 13 || len(TrussNumbers(g)) != g.NumEdges() {
+		t.Fatal("measure lengths wrong")
+	}
+	if len(DegreeCentrality(g)) != 13 || len(BetweennessCentrality(g)) != 13 {
+		t.Fatal("centrality lengths wrong")
+	}
+	if len(ClosenessCentrality(g)) != 13 || len(HarmonicCentrality(g)) != 13 {
+		t.Fatal("closeness/harmonic lengths wrong")
+	}
+	pr := PageRank(g, 0.85)
+	var sum float64
+	for _, p := range pr {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("PageRank sums to %g", sum)
+	}
+	if len(ClusteringCoefficients(g)) != 13 || len(TriangleDensity(g)) != 13 {
+		t.Fatal("clustering/triangle lengths wrong")
+	}
+	if len(ApproxBetweennessCentrality(g, 5, 1)) != 13 {
+		t.Fatal("approx betweenness length wrong")
+	}
+}
+
+func TestCorrelationExposed(t *testing.T) {
+	g := demoGraph()
+	deg := DegreeCentrality(g)
+	lci, err := LocalCorrelationIndex(g, deg, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gci, err := GlobalCorrelationIndex(g, deg, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gci < 0.5 {
+		t.Errorf("GCI(deg,deg) = %g, want strongly positive", gci)
+	}
+	out := OutlierScores(lci)
+	for i := range out {
+		if out[i] != -lci[i] {
+			t.Fatal("OutlierScores must negate LCI")
+		}
+	}
+}
+
+func TestEdgeTerrain(t *testing.T) {
+	g := demoGraph()
+	terr, err := NewEdgeTerrain(g, TrussNumbers(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each K5 is a 3-truss: two edge components at α=3.
+	comps := terr.Components(3)
+	if len(comps) != 2 {
+		t.Fatalf("edge components at 3 = %d, want 2", len(comps))
+	}
+	for _, c := range comps {
+		if len(c) != 10 {
+			t.Errorf("truss component has %d edges, want 10", len(c))
+		}
+	}
+}
+
+func TestTerrainValueErrors(t *testing.T) {
+	g := demoGraph()
+	if _, err := NewVertexTerrain(g, []float64{1}); err == nil {
+		t.Error("want error for wrong value count")
+	}
+	if _, err := NewEdgeTerrain(g, []float64{1}); err == nil {
+		t.Error("want error for wrong edge value count")
+	}
+	terr, _ := NewVertexTerrain(g, CoreNumbers(g))
+	if err := terr.ColorByValues([]float64{1}); err == nil {
+		t.Error("want error for wrong color count")
+	}
+	if err := terr.ColorByCategory([]int{1}); err == nil {
+		t.Error("want error for wrong category count")
+	}
+}
+
+func TestSimplifyBins(t *testing.T) {
+	g, err := datasets.Generate("GrQc", 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := DegreeCentrality(g)
+	full, _ := NewVertexTerrain(g, deg)
+	simp, _ := NewVertexTerrain(g, deg, TerrainOptions{SimplifyBins: 4})
+	if simp.Tree.Len() >= full.Tree.Len() {
+		t.Errorf("simplified tree %d nodes >= full %d", simp.Tree.Len(), full.Tree.Len())
+	}
+}
+
+func TestRenderArtifacts(t *testing.T) {
+	g := demoGraph()
+	terr, _ := NewVertexTerrain(g, CoreNumbers(g))
+	if err := terr.ColorByValues(DegreeCentrality(g)); err != nil {
+		t.Fatal(err)
+	}
+	img := terr.Render(RenderOptions{Width: 240, Height: 180})
+	if img.Bounds().Dx() != 240 {
+		t.Fatalf("render dims %v", img.Bounds())
+	}
+	tm := terr.RenderTreemap(128)
+	if tm.Bounds().Dx() != 128 {
+		t.Fatalf("treemap dims %v", tm.Bounds())
+	}
+	var svg bytes.Buffer
+	if err := terr.WriteSVG(&svg, 300); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "<svg") {
+		t.Error("SVG output malformed")
+	}
+	var obj bytes.Buffer
+	if err := terr.WriteOBJ(&obj, 16, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(obj.String(), "v ") {
+		t.Error("OBJ output malformed")
+	}
+}
+
+func TestColorByCategory(t *testing.T) {
+	g := demoGraph()
+	terr, _ := NewVertexTerrain(g, CoreNumbers(g))
+	cats := make([]int, 13)
+	for i := 5; i < 10; i++ {
+		cats[i] = 1
+	}
+	if err := terr.ColorByCategory(cats); err != nil {
+		t.Fatal(err)
+	}
+	img := terr.Render(RenderOptions{Width: 160, Height: 120})
+	if img == nil {
+		t.Fatal("nil image")
+	}
+}
+
+func TestMCCExposed(t *testing.T) {
+	g := demoGraph()
+	terr, _ := NewVertexTerrain(g, CoreNumbers(g))
+	// MCC of a K5 member at its own core value is its K5.
+	mcc := terr.MCC(0)
+	if len(mcc) != 5 {
+		t.Errorf("MCC(0) has %d items, want 5", len(mcc))
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g := FromEdges(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if g.NumEdges() != 2 {
+		t.Fatalf("E = %d", g.NumEdges())
+	}
+}
+
+func TestRasterRes(t *testing.T) {
+	if rasterRes(0) != 192 || rasterRes(10) != 64 || rasterRes(1000) != 512 || rasterRes(300) != 300 {
+		t.Error("rasterRes clamping wrong")
+	}
+}
