@@ -1,0 +1,133 @@
+package scalarfield
+
+// The registry-driven front door of the pipeline: Analyze runs
+// measure → scalar field → scalar tree → terrain by measure name, so
+// downstream callers (the HTTP server, the terrain CLI, the experiment
+// harness, library users) share one resolution path. Registering a
+// measure in internal/measures lights it up everywhere at once.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/measures"
+	"repro/internal/terrain"
+)
+
+// MeasureInfo describes one registered scalar measure.
+type MeasureInfo struct {
+	// Name is the registry key, e.g. "kcore".
+	Name string
+	// Edge reports whether the measure assigns scalars to edges
+	// (terrain built by Algorithm 3) rather than vertices (Algorithm 1).
+	Edge bool
+	// Doc is a one-line description.
+	Doc string
+}
+
+// Measures returns the names of every registered measure, sorted.
+func Measures() []string { return measures.Names() }
+
+// MeasureInfos returns descriptors of every registered measure, sorted
+// by name.
+func MeasureInfos() []MeasureInfo {
+	names := measures.Names()
+	infos := make([]MeasureInfo, 0, len(names))
+	for _, name := range names {
+		spec, _ := measures.Lookup(name)
+		infos = append(infos, MeasureInfo{Name: name, Edge: spec.Kind == measures.Edge, Doc: spec.Doc})
+	}
+	return infos
+}
+
+// LookupMeasure resolves a registered measure by name.
+func LookupMeasure(name string) (MeasureInfo, bool) {
+	spec, ok := measures.Lookup(name)
+	if !ok {
+		return MeasureInfo{}, false
+	}
+	return MeasureInfo{Name: name, Edge: spec.Kind == measures.Edge, Doc: spec.Doc}, true
+}
+
+// RegisterMeasure adds a custom measure to the registry, making it
+// available to Analyze, the serve and terrain commands, and the
+// experiment harness under the given name. It panics on a duplicate or
+// empty name — registration is an init-time affair.
+func RegisterMeasure(name string, edge bool, doc string, compute func(*Graph) []float64) {
+	kind := measures.Vertex
+	if edge {
+		kind = measures.Edge
+	}
+	measures.Register(name, measures.Spec{Kind: kind, Doc: doc, Compute: compute})
+}
+
+// MeasureValues evaluates a registered measure by name, reporting
+// whether the resulting field is edge-based. With parallel true, a
+// registered multi-core variant is used when the graph is large enough
+// to benefit.
+func MeasureValues(g *Graph, name string, parallel bool) ([]float64, bool, error) {
+	spec, ok := measures.Lookup(name)
+	if !ok {
+		return nil, false, unknownMeasure(name)
+	}
+	return spec.Values(g, parallel), spec.Kind == measures.Edge, nil
+}
+
+// AnalyzeOptions configures Analyze.
+type AnalyzeOptions struct {
+	// SimplifyBins > 0 discretizes the scalar field into this many bins
+	// before building the tree (the paper's simplification for large
+	// graphs); 0 keeps exact values.
+	SimplifyBins int
+	// ColorBy optionally names a second registered measure used to
+	// color the terrain (Section II-F). It must share the height
+	// measure's vertex/edge basis.
+	ColorBy string
+	// Parallel selects multi-core measure kernels where registered.
+	// Tree construction parallelizes its sweep-order sort by default
+	// regardless of this setting.
+	Parallel bool
+	// Layout controls boundary margins and minimum child shares.
+	Layout terrain.LayoutOptions
+}
+
+// Analyze runs the whole pipeline by measure name: evaluate the
+// registered measure, build the scalar field and its super scalar tree
+// (Algorithm 1 or 3 plus Algorithm 2, chosen by the measure's kind),
+// lay the tree out, and color it — by its own heights, or by the
+// ColorBy measure when given.
+func Analyze(g *Graph, measure string, opts AnalyzeOptions) (*Terrain, error) {
+	values, edge, err := MeasureValues(g, measure, opts.Parallel)
+	if err != nil {
+		return nil, err
+	}
+	topts := TerrainOptions{SimplifyBins: opts.SimplifyBins, Layout: opts.Layout}
+	var t *Terrain
+	if edge {
+		t, err = NewEdgeTerrain(g, values, topts)
+	} else {
+		t, err = NewVertexTerrain(g, values, topts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.ColorBy != "" {
+		cv, cEdge, err := MeasureValues(g, opts.ColorBy, opts.Parallel)
+		if err != nil {
+			return nil, err
+		}
+		if cEdge != edge {
+			return nil, fmt.Errorf("scalarfield: color measure %q and height measure %q disagree on vertex/edge basis",
+				opts.ColorBy, measure)
+		}
+		if err := t.ColorByValues(cv); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func unknownMeasure(name string) error {
+	return fmt.Errorf("scalarfield: unknown measure %q (registered: %s)",
+		name, strings.Join(measures.Names(), ", "))
+}

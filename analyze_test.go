@@ -1,0 +1,131 @@
+package scalarfield
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMeasureRegistryRoundTrip drives every registered measure name
+// through the full Analyze pipeline on a small graph: each must
+// resolve, produce a field of the right size for its basis, and build
+// a valid super scalar tree.
+func TestMeasureRegistryRoundTrip(t *testing.T) {
+	g := demoGraph()
+	names := Measures()
+	if len(names) < 12 {
+		t.Fatalf("registry lists %d measures, want >= 12: %v", len(names), names)
+	}
+	for _, name := range names {
+		info, ok := LookupMeasure(name)
+		if !ok {
+			t.Fatalf("Measures() lists %q but LookupMeasure misses it", name)
+		}
+		if info.Doc == "" {
+			t.Errorf("measure %q has no Doc line", name)
+		}
+
+		values, edge, err := MeasureValues(g, name, false)
+		if err != nil {
+			t.Fatalf("MeasureValues(%q): %v", name, err)
+		}
+		if edge != info.Edge {
+			t.Fatalf("measure %q: MeasureValues basis %v, LookupMeasure basis %v", name, edge, info.Edge)
+		}
+		want := g.NumVertices()
+		if edge {
+			want = g.NumEdges()
+		}
+		if len(values) != want {
+			t.Fatalf("measure %q: %d values for %d items", name, len(values), want)
+		}
+
+		terr, err := Analyze(g, name, AnalyzeOptions{})
+		if err != nil {
+			t.Fatalf("Analyze(%q): %v", name, err)
+		}
+		if terr.Tree.NumItems() != want {
+			t.Fatalf("Analyze(%q): tree over %d items, want %d", name, terr.Tree.NumItems(), want)
+		}
+		if err := terr.Tree.Validate(); err != nil {
+			t.Fatalf("Analyze(%q): invalid super tree: %v", name, err)
+		}
+	}
+}
+
+// TestAnalyzeMatchesManualPipeline pins Analyze to the hand-wired
+// pipeline it replaced in the entry points.
+func TestAnalyzeMatchesManualPipeline(t *testing.T) {
+	g := demoGraph()
+
+	got, err := Analyze(g, "kcore", AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewVertexTerrain(g, CoreNumbers(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tree.Len() != want.Tree.Len() {
+		t.Fatalf("Analyze kcore tree has %d super nodes, manual pipeline %d",
+			got.Tree.Len(), want.Tree.Len())
+	}
+
+	got, err = Analyze(g, "ktruss", AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eWant, err := NewEdgeTerrain(g, TrussNumbers(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tree.Len() != eWant.Tree.Len() {
+		t.Fatalf("Analyze ktruss tree has %d super nodes, manual pipeline %d",
+			got.Tree.Len(), eWant.Tree.Len())
+	}
+}
+
+func TestAnalyzeOptionBehavior(t *testing.T) {
+	g := demoGraph()
+
+	// Simplification must not grow the tree.
+	full, err := Analyze(g, "pagerank", AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binned, err := Analyze(g, "pagerank", AnalyzeOptions{SimplifyBins: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binned.Tree.Len() > full.Tree.Len() {
+		t.Fatalf("4-bin tree has %d super nodes, exact tree %d", binned.Tree.Len(), full.Tree.Len())
+	}
+
+	// A same-basis color measure works; a cross-basis one is rejected.
+	if _, err := Analyze(g, "kcore", AnalyzeOptions{ColorBy: "degree"}); err != nil {
+		t.Fatalf("vertex color on vertex height: %v", err)
+	}
+	if _, err := Analyze(g, "kcore", AnalyzeOptions{ColorBy: "ktruss"}); err == nil {
+		t.Fatal("edge color on vertex height must be rejected")
+	}
+
+	// Unknown names fail with the registry listing.
+	if _, err := Analyze(g, "nonsense", AnalyzeOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "kcore") {
+		t.Fatalf("unknown measure error should list registered names, got %v", err)
+	}
+}
+
+// TestReadmeListsEveryMeasure keeps the README's measure table in sync
+// with the registry: every registered name must appear in README.md.
+func TestReadmeListsEveryMeasure(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Measures() {
+		if !strings.Contains(string(readme), "`"+name+"`") {
+			t.Errorf("README.md does not mention measure `%s`", name)
+		}
+	}
+}

@@ -75,6 +75,29 @@ func BenchmarkTable2VertexTree(b *testing.B) {
 	}
 }
 
+// BenchmarkTable2VertexTreeParallel ablates the parallel-by-default
+// sweep-order sort on the Table II vertex rows: "serial" pins the
+// sort to one core, "parallel" is the production default. The gap is
+// the speedup the paper's complexity analysis predicts from attacking
+// the dominant O(|V|·log|V|) term; graphs below par.SerialCutoff
+// show none because both paths take the serial fallback.
+func BenchmarkTable2VertexTreeParallel(b *testing.B) {
+	for _, name := range []string{"Wikipedia", "Cit-Patent"} {
+		g := benchGraph(b, name)
+		f := core.MustVertexField(g, measures.CoreNumbersFloat(g))
+		b.Run(name+"/serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.BuildVertexTreeSerial(f)
+			}
+		})
+		b.Run(name+"/parallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.BuildVertexTree(f)
+			}
+		})
+	}
+}
+
 // BenchmarkTable2EdgeTreeOptimized measures tc for KT(e) rows:
 // Algorithm 3 + Algorithm 2.
 func BenchmarkTable2EdgeTreeOptimized(b *testing.B) {

@@ -30,13 +30,13 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 
 	scalarfield "repro"
 	"repro/internal/baselines"
 	"repro/internal/contour"
 	"repro/internal/datasets"
 	"repro/internal/graph"
-	"repro/internal/measures"
 	"repro/internal/render"
 	"repro/internal/terrain"
 )
@@ -48,8 +48,9 @@ func main() {
 		dataset = flag.String("dataset", "GrQc", "synthetic Table I dataset name")
 		scale   = flag.Float64("scale", 0.1, "scale factor for -dataset")
 		seed    = flag.Int64("seed", 42, "generation seed")
-		measure = flag.String("measure", "kcore", "height measure: kcore|onion|degree|betweenness|closeness|harmonic|pagerank|triangles|ktruss|edgebetweenness")
-		colorBy = flag.String("color", "", "optional second vertex measure for terrain color")
+		measure = flag.String("measure", "kcore",
+			"height measure: "+strings.Join(scalarfield.Measures(), "|"))
+		colorBy = flag.String("color", "", "optional second measure for terrain color (same basis)")
 		bins    = flag.Int("bins", 0, "simplification bins (0 = exact)")
 	)
 	flag.Parse()
@@ -98,70 +99,26 @@ func newServer(input, dataset string, scale float64, seed int64, measure, colorB
 		name = dataset
 	}
 
-	values, edgeBased, err := computeMeasure(g, measure)
+	info, ok := scalarfield.LookupMeasure(measure)
+	if !ok {
+		return nil, fmt.Errorf("unknown measure %q (try one of %s)",
+			measure, strings.Join(scalarfield.Measures(), ", "))
+	}
+	t, err := scalarfield.Analyze(g, measure, scalarfield.AnalyzeOptions{
+		SimplifyBins: bins,
+		ColorBy:      colorBy,
+		Parallel:     true,
+	})
 	if err != nil {
 		return nil, err
-	}
-	opts := scalarfield.TerrainOptions{SimplifyBins: bins}
-	var t *scalarfield.Terrain
-	if edgeBased {
-		t, err = scalarfield.NewEdgeTerrain(g, values, opts)
-	} else {
-		t, err = scalarfield.NewVertexTerrain(g, values, opts)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if colorBy != "" {
-		cv, cEdge, err := computeMeasure(g, colorBy)
-		if err != nil {
-			return nil, err
-		}
-		if cEdge != edgeBased {
-			return nil, fmt.Errorf("color measure %q and height measure %q disagree on vertex/edge basis", colorBy, measure)
-		}
-		if err := t.ColorByValues(cv); err != nil {
-			return nil, err
-		}
 	}
 	return &server{
 		name:     name,
 		g:        g,
 		terrain:  t,
 		spectrum: contour.NewSpectrum(t.Tree),
-		edges:    edgeBased,
+		edges:    info.Edge,
 	}, nil
-}
-
-// computeMeasure evaluates a named scalar measure; the second result
-// reports whether it is edge-based.
-func computeMeasure(g *graph.Graph, name string) ([]float64, bool, error) {
-	switch name {
-	case "kcore":
-		return measures.CoreNumbersFloat(g), false, nil
-	case "onion":
-		return measures.OnionLayersFloat(g), false, nil
-	case "degree":
-		return measures.DegreeCentrality(g), false, nil
-	case "betweenness":
-		if g.NumVertices() > 4000 {
-			return measures.ApproxBetweennessCentrality(g, 512, 1), false, nil
-		}
-		return measures.BetweennessCentrality(g), false, nil
-	case "closeness":
-		return measures.ClosenessCentrality(g), false, nil
-	case "harmonic":
-		return measures.HarmonicCentrality(g), false, nil
-	case "pagerank":
-		return measures.PageRank(g, 0.85, 1e-10, 200), false, nil
-	case "triangles":
-		return measures.TriangleDensityField(g), false, nil
-	case "ktruss":
-		return measures.TrussNumbersFloat(g), true, nil
-	case "edgebetweenness":
-		return measures.EdgeBetweennessCentrality(g), true, nil
-	}
-	return nil, false, fmt.Errorf("unknown measure %q", name)
 }
 
 func (s *server) routes() *http.ServeMux {

@@ -30,7 +30,8 @@ func main() {
 		dataset = flag.String("dataset", "", "synthetic Table I dataset name (GrQc, Wikivote, ...)")
 		scale   = flag.Float64("scale", 0.1, "scale factor for -dataset")
 		seed    = flag.Int64("seed", 42, "seed for -dataset generation")
-		measure = flag.String("measure", "kcore", "height measure: kcore|ktruss|degree|betweenness|closeness|harmonic|pagerank|triangles|onion|katz|edgebetweenness")
+		measure = flag.String("measure", "kcore",
+			"height measure: "+strings.Join(scalarfield.Measures(), "|"))
 		colorBy = flag.String("color", "", "optional second measure for terrain color (same choices)")
 		out     = flag.String("out", "terrain", "output path prefix (writes <out>.png, <out>.svg, <out>.obj, <out>_treemap.png)")
 		bins    = flag.Int("bins", 0, "simplification bins (0 = exact scalar values)")
@@ -56,35 +57,15 @@ func run(input, dataset string, scale float64, seed int64, measure, colorBy, out
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
-	values, isEdge, err := computeMeasure(g, measure)
-	if err != nil {
-		return err
-	}
-
-	opts := scalarfield.TerrainOptions{SimplifyBins: bins}
-	var terr *scalarfield.Terrain
-	if isEdge {
-		terr, err = scalarfield.NewEdgeTerrain(g, values, opts)
-	} else {
-		terr, err = scalarfield.NewVertexTerrain(g, values, opts)
-	}
+	terr, err := scalarfield.Analyze(g, measure, scalarfield.AnalyzeOptions{
+		SimplifyBins: bins,
+		ColorBy:      colorBy,
+		Parallel:     true,
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("scalar tree: %d super nodes over %d items\n", terr.Tree.Len(), terr.Tree.NumItems())
-
-	if colorBy != "" {
-		cv, cvEdge, err := computeMeasure(g, colorBy)
-		if err != nil {
-			return err
-		}
-		if cvEdge != isEdge {
-			return fmt.Errorf("-measure %s and -color %s mix vertex and edge measures", measure, colorBy)
-		}
-		if err := terr.ColorByValues(cv); err != nil {
-			return err
-		}
-	}
 
 	if alpha >= 0 {
 		peaks := terr.Peaks(alpha)
@@ -172,37 +153,4 @@ func loadGraph(input, dataset string, scale float64, seed int64) (*scalarfield.G
 	default:
 		return nil, fmt.Errorf("one of -input or -dataset is required")
 	}
-}
-
-// computeMeasure returns the measure values and whether it is an edge
-// measure (true) or vertex measure (false).
-func computeMeasure(g *scalarfield.Graph, name string) ([]float64, bool, error) {
-	switch name {
-	case "kcore":
-		return scalarfield.CoreNumbers(g), false, nil
-	case "ktruss":
-		return scalarfield.TrussNumbers(g), true, nil
-	case "degree":
-		return scalarfield.DegreeCentrality(g), false, nil
-	case "betweenness":
-		if g.NumVertices() > 5000 {
-			return scalarfield.ApproxBetweennessCentrality(g, 512, 1), false, nil
-		}
-		return scalarfield.BetweennessCentrality(g), false, nil
-	case "closeness":
-		return scalarfield.ClosenessCentrality(g), false, nil
-	case "harmonic":
-		return scalarfield.HarmonicCentrality(g), false, nil
-	case "pagerank":
-		return scalarfield.PageRank(g, 0.85), false, nil
-	case "triangles":
-		return scalarfield.TriangleDensity(g), false, nil
-	case "onion":
-		return scalarfield.OnionLayers(g), false, nil
-	case "katz":
-		return scalarfield.KatzCentrality(g, 0), false, nil
-	case "edgebetweenness":
-		return scalarfield.EdgeBetweennessCentrality(g), true, nil
-	}
-	return nil, false, fmt.Errorf("unknown measure %q", name)
 }

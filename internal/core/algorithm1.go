@@ -1,27 +1,8 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/unionfind"
 )
-
-// sweepOrder returns item IDs sorted by decreasing scalar, with ties
-// broken by increasing ID so the sweep is deterministic.
-func sweepOrder(values []float64) []int32 {
-	order := make([]int32, len(values))
-	for i := range order {
-		order[i] = int32(i)
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		va, vb := values[order[a]], values[order[b]]
-		if va != vb {
-			return va > vb
-		}
-		return order[a] < order[b]
-	})
-	return order
-}
 
 // BuildVertexTree runs Algorithm 1 of the paper: it sweeps vertices in
 // decreasing scalar order and, whenever the current vertex touches an
@@ -32,83 +13,27 @@ func sweepOrder(values []float64) []int32 {
 //
 // Union-find tracks subtree membership, so the total cost is
 // O(|E|·α(|V|) + |V|·log|V|), dominated by the initial sort —
-// exactly the bound stated in Section II-B.
+// exactly the bound stated in Section II-B. Because the sort is the
+// asymptotic bottleneck, the sweep order is computed by parallel merge
+// sort by default (serial below par.SerialCutoff); the output is
+// bit-identical to BuildVertexTreeSerial either way.
 func BuildVertexTree(f *VertexField) *Tree {
-	n := f.G.NumVertices()
-	t := &Tree{
-		Parent: make([]int32, n),
-		Scalar: make([]float64, n),
-		Order:  sweepOrder(f.Values),
-	}
-	copy(t.Scalar, f.Values)
-	for i := range t.Parent {
-		t.Parent[i] = -1
-	}
+	return buildTree(f.Values, parallelSweepOrder(f.Values), f.G.Neighbors)
+}
 
-	dsu := unionfind.New(n)
-	// compRoot[r] is the tree node that currently roots the subtree of
-	// the union-find set whose representative is r.
-	compRoot := make([]int32, n)
-	for i := range compRoot {
-		compRoot[i] = int32(i)
-	}
-	processed := make([]bool, n)
-
-	for _, vi := range t.Order {
-		for _, vj := range f.G.Neighbors(vi) {
-			if !processed[vj] {
-				continue // "j < i" guard: only earlier (higher-scalar) vertices
-			}
-			ri, rj := dsu.Find(int(vi)), dsu.Find(int(vj))
-			if ri == rj {
-				continue // already in the same subtree
-			}
-			// Connect n(vi) to root(n(vj)): vi becomes the parent.
-			t.Parent[compRoot[rj]] = vi
-			dsu.Union(ri, rj)
-			compRoot[dsu.Find(int(vi))] = vi
-		}
-		processed[vi] = true
-	}
-	return t
+// BuildVertexTreeSerial is BuildVertexTree with the sweep order
+// computed by the serial sort regardless of input size. It exists as
+// the ablation baseline for the parallel-by-default path; the two
+// produce bit-identical trees.
+func BuildVertexTreeSerial(f *VertexField) *Tree {
+	return buildTree(f.Values, sweepOrder(f.Values), f.G.Neighbors)
 }
 
 // buildTreeOnMapGraph is the ablation twin of BuildVertexTree running
 // on the adjacency-map representation. Used only by benchmarks to
 // quantify the CSR layout's advantage; see DESIGN.md §4.5.
 func buildTreeOnMapGraph(adj map[int32][]int32, values []float64) *Tree {
-	n := len(values)
-	t := &Tree{
-		Parent: make([]int32, n),
-		Scalar: make([]float64, n),
-		Order:  sweepOrder(values),
-	}
-	copy(t.Scalar, values)
-	for i := range t.Parent {
-		t.Parent[i] = -1
-	}
-	dsu := unionfind.New(n)
-	compRoot := make([]int32, n)
-	for i := range compRoot {
-		compRoot[i] = int32(i)
-	}
-	processed := make([]bool, n)
-	for _, vi := range t.Order {
-		for _, vj := range adj[vi] {
-			if !processed[vj] {
-				continue
-			}
-			ri, rj := dsu.Find(int(vi)), dsu.Find(int(vj))
-			if ri == rj {
-				continue
-			}
-			t.Parent[compRoot[rj]] = vi
-			dsu.Union(ri, rj)
-			compRoot[dsu.Find(int(vi))] = vi
-		}
-		processed[vi] = true
-	}
-	return t
+	return buildTree(values, sweepOrder(values), func(v int32) []int32 { return adj[v] })
 }
 
 // buildVertexTreeNaiveUF is the ablation twin of BuildVertexTree using

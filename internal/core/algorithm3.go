@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/graph"
-	"repro/internal/unionfind"
 )
 
 // BuildEdgeTree runs Algorithm 3 of the paper: the optimized
@@ -15,25 +14,35 @@ import (
 // only the minimum-sweep-index incident edge of each endpoint needs to
 // be examined, because every earlier-processed edge on that endpoint
 // has already been merged into that edge's subtree (Proposition 3).
+// That incidence rule is all this function supplies; the sweep itself
+// is the shared engine of sweep.go, with the order computed by
+// parallel merge sort by default (serial below par.SerialCutoff).
 func BuildEdgeTree(f *EdgeField) *Tree {
-	m := f.G.NumEdges()
-	t := &Tree{
-		Parent: make([]int32, m),
-		Scalar: make([]float64, m),
-		Order:  sweepOrder(f.Values),
-	}
-	copy(t.Scalar, f.Values)
-	for i := range t.Parent {
-		t.Parent[i] = -1
-	}
-	if m == 0 {
-		return t
-	}
+	order := parallelSweepOrder(f.Values)
+	return buildTree(f.Values, order, prop3Adjacency(f, order))
+}
 
+// BuildEdgeTreeSerial is BuildEdgeTree with the serial sweep-order
+// sort regardless of input size — the ablation baseline for the
+// parallel-by-default path. The two produce bit-identical trees.
+func BuildEdgeTreeSerial(f *EdgeField) *Tree {
+	order := sweepOrder(f.Values)
+	return buildTree(f.Values, order, prop3Adjacency(f, order))
+}
+
+// prop3Adjacency returns the Proposition-3 adjacency provider for an
+// edge field swept in the given order: the candidates of edge e are
+// the min-sweep-index incident edges of e's two endpoints. The
+// engine's processed guard subsumes the paper's "m < i" rank check —
+// an edge with smaller sweep index than the current one is exactly an
+// already-processed edge — so the resulting tree is identical to the
+// explicit Algorithm 3 loop.
+func prop3Adjacency(f *EdgeField, order []int32) sweepAdjacency {
+	m := f.G.NumEdges()
 	// rank[e] = position of edge e in the sweep order ("index" in the
-	// paper's line 1).
+	// paper's line 1); only needed to pick each endpoint's minimum.
 	rank := make([]int32, m)
-	for i, e := range t.Order {
+	for i, e := range order {
 		rank[e] = int32(i)
 	}
 
@@ -52,28 +61,18 @@ func BuildEdgeTree(f *EdgeField) *Tree {
 		}
 	}
 
-	dsu := unionfind.New(m)
-	compRoot := make([]int32, m)
-	for i := range compRoot {
-		compRoot[i] = int32(i)
-	}
-
-	for i, ei := range t.Order {
+	var buf [2]int32
+	return func(ei int32) []int32 {
 		edge := f.G.Edge(ei)
+		k := 0
 		for _, em := range [2]int32{minIDEdge[edge.U], minIDEdge[edge.V]} {
-			if em < 0 || rank[em] >= int32(i) {
-				continue // "m < i" guard
+			if em >= 0 {
+				buf[k] = em
+				k++
 			}
-			ri, rm := dsu.Find(int(ei)), dsu.Find(int(em))
-			if ri == rm {
-				continue
-			}
-			t.Parent[compRoot[rm]] = ei
-			dsu.Union(ri, rm)
-			compRoot[dsu.Find(int(ei))] = ei
 		}
+		return buf[:k]
 	}
-	return t
 }
 
 // DualGraph converts an edge scalar graph to its dual: every edge of g

@@ -1,19 +1,41 @@
 package core
 
 import (
-	"runtime"
 	"sort"
 	"sync"
 
-	"repro/internal/unionfind"
+	"repro/internal/par"
 )
 
-// parallelSweepOrder computes the same decreasing-scalar sweep order as
-// sweepOrder using a parallel merge sort: the index range is split into
-// GOMAXPROCS shards, each shard is sorted independently, and sorted
-// shards are pairwise merged. The comparison (scalar descending, ID
-// ascending on ties) is identical, so the result is bit-for-bit equal
-// to the serial order.
+// sweepLess is the one sweep-order comparator: decreasing scalar, ties
+// broken by increasing item ID so the sweep is deterministic. Both the
+// serial and parallel sort drivers — and the merge step — use it, so
+// their outputs are bit-for-bit interchangeable.
+func sweepLess(values []float64, a, b int32) bool {
+	va, vb := values[a], values[b]
+	if va != vb {
+		return va > vb
+	}
+	return a < b
+}
+
+// sweepOrder returns item IDs sorted by the sweep comparator with the
+// serial driver.
+func sweepOrder(values []float64) []int32 {
+	order := make([]int32, len(values))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sortChunk(order, values)
+	return order
+}
+
+// parallelSweepOrder computes the same sweep order as sweepOrder using
+// a parallel merge sort: the index range is split into GOMAXPROCS
+// shards, each shard is sorted independently, and sorted shards are
+// pairwise merged. The comparator is shared with the serial driver, so
+// the result is bit-for-bit equal to the serial order; inputs below
+// par.SerialCutoff take the serial path directly.
 //
 // Section II-B's complexity analysis makes the sort the asymptotic
 // bottleneck of Algorithm 1 — O(|V|·log|V|) against the union-find
@@ -26,8 +48,8 @@ func parallelSweepOrder(values []float64) []int32 {
 	for i := range order {
 		order[i] = int32(i)
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers < 2 || n < 4096 {
+	workers := par.Workers(n)
+	if workers < 2 {
 		sortChunk(order, values)
 		return order
 	}
@@ -74,14 +96,10 @@ func parallelSweepOrder(values []float64) []int32 {
 }
 
 // sortChunk sorts one shard of the order slice with the sweep
-// comparison.
+// comparator.
 func sortChunk(order []int32, values []float64) {
 	sort.Slice(order, func(a, b int) bool {
-		va, vb := values[order[a]], values[order[b]]
-		if va != vb {
-			return va > vb
-		}
-		return order[a] < order[b]
+		return sweepLess(values, order[a], order[b])
 	})
 }
 
@@ -91,8 +109,7 @@ func mergeRuns(order, buf []int32, values []float64, lo, mid, hi int) {
 	i, j, k := lo, mid, lo
 	for i < mid && j < hi {
 		a, b := order[i], order[j]
-		va, vb := values[a], values[b]
-		if va > vb || (va == vb && a < b) {
+		if sweepLess(values, a, b) {
 			buf[k] = a
 			i++
 		} else {
@@ -105,66 +122,4 @@ func mergeRuns(order, buf []int32, values []float64, lo, mid, hi int) {
 	k += mid - i
 	copy(buf[k:], order[j:hi])
 	copy(order[lo:hi], buf[lo:hi])
-}
-
-// BuildVertexTreeParallelSort is BuildVertexTree with the sweep order
-// computed by parallel merge sort. The union-find sweep itself is
-// inherently sequential (each step depends on the components formed so
-// far), so this parallelizes exactly the term the paper's complexity
-// analysis identifies as dominant. The resulting tree is identical to
-// BuildVertexTree's.
-func BuildVertexTreeParallelSort(f *VertexField) *Tree {
-	n := f.G.NumVertices()
-	t := &Tree{
-		Parent: make([]int32, n),
-		Scalar: make([]float64, n),
-		Order:  parallelSweepOrder(f.Values),
-	}
-	copy(t.Scalar, f.Values)
-	for i := range t.Parent {
-		t.Parent[i] = -1
-	}
-	dsu := newTreeSweep(n)
-	for _, vi := range t.Order {
-		dsu.step(t, f.G.Neighbors(vi), vi)
-	}
-	return t
-}
-
-// treeSweep bundles the union-find sweep state shared by the tree
-// builders.
-type treeSweep struct {
-	dsu       *unionfind.DSU
-	compRoot  []int32
-	processed []bool
-}
-
-// newTreeSweep allocates sweep state over n items.
-func newTreeSweep(n int) *treeSweep {
-	s := &treeSweep{
-		dsu:       unionfind.New(n),
-		compRoot:  make([]int32, n),
-		processed: make([]bool, n),
-	}
-	for i := range s.compRoot {
-		s.compRoot[i] = int32(i)
-	}
-	return s
-}
-
-// step processes one vertex of the descending sweep.
-func (s *treeSweep) step(t *Tree, neighbors []int32, vi int32) {
-	for _, vj := range neighbors {
-		if !s.processed[vj] {
-			continue
-		}
-		ri, rj := s.dsu.Find(int(vi)), s.dsu.Find(int(vj))
-		if ri == rj {
-			continue
-		}
-		t.Parent[s.compRoot[rj]] = vi
-		s.dsu.Union(ri, rj)
-		s.compRoot[s.dsu.Find(int(vi))] = vi
-	}
-	s.processed[vi] = true
 }

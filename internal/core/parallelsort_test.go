@@ -51,12 +51,12 @@ func TestParallelSweepOrderMatchesSerial(t *testing.T) {
 	}
 }
 
-func TestBuildVertexTreeParallelSortEquivalent(t *testing.T) {
+func TestBuildVertexTreeSerialVsParallelDefault(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		for _, distinct := range []bool{true, false} {
 			f := randomFieldFor(seed, 200, 0.03, distinct)
-			a := BuildVertexTree(f)
-			b := BuildVertexTreeParallelSort(f)
+			a := BuildVertexTreeSerial(f)
+			b := BuildVertexTree(f)
 			if !reflect.DeepEqual(a.Parent, b.Parent) {
 				t.Fatalf("seed %d distinct=%v: parallel-sort tree differs", seed, distinct)
 			}
@@ -67,19 +67,19 @@ func TestBuildVertexTreeParallelSortEquivalent(t *testing.T) {
 	}
 }
 
-func TestBuildVertexTreeParallelSortLarge(t *testing.T) {
+func TestBuildVertexTreeParallelDefaultLarge(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large input")
 	}
 	// Cross the parallel threshold and verify the super tree still
 	// satisfies every invariant.
 	f := randomFieldFor(1, 6000, 0.001, false)
-	tree := BuildVertexTreeParallelSort(f)
+	tree := BuildVertexTree(f)
 	st := Postprocess(tree)
 	if err := st.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	ref := Postprocess(BuildVertexTree(f))
+	ref := Postprocess(BuildVertexTreeSerial(f))
 	if st.Len() != ref.Len() {
 		t.Fatalf("super tree sizes differ: %d vs %d", st.Len(), ref.Len())
 	}
@@ -105,12 +105,12 @@ func BenchmarkAblationTreeSerialVsParallelSort(b *testing.B) {
 	f := randomFieldFor(3, 100000, 0.00005, true)
 	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			BuildVertexTree(f)
+			BuildVertexTreeSerial(f)
 		}
 	})
 	b.Run("parallel-sort", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			BuildVertexTreeParallelSort(f)
+			BuildVertexTree(f)
 		}
 	})
 }
@@ -131,8 +131,8 @@ func TestParallelSweepOrderMultiWorkerPath(t *testing.T) {
 		}
 	}
 	f := randomFieldFor(9, 8000, 0.0004, false)
-	a := BuildVertexTree(f)
-	b := BuildVertexTreeParallelSort(f)
+	a := BuildVertexTreeSerial(f)
+	b := BuildVertexTree(f)
 	if !reflect.DeepEqual(a.Parent, b.Parent) {
 		t.Fatal("sharded-sort tree differs from serial")
 	}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"repro/internal/unionfind"
+)
+
+// The descending-sweep skeleton shared by Algorithm 1 (vertex trees)
+// and Algorithm 3 (edge trees). Both algorithms are the same loop —
+// visit items in decreasing scalar order, and whenever the current
+// item touches an already-processed subtree it is not yet part of,
+// attach that subtree's current root beneath the current item — and
+// differ only in how an item discovers its candidate neighbors: vertex
+// trees walk the CSR adjacency, edge trees consult the two
+// min-sweep-index incident edges of Proposition 3. buildTree factors
+// the loop; the builders supply the adjacency.
+
+// sweepAdjacency yields the candidate neighbors of an item during the
+// descending sweep. The engine skips candidates that have not been
+// processed yet (the pseudocode's "j < i" guard), so providers may
+// over-report; the slice is only read before the next call and may be
+// backed by a reusable scratch buffer.
+type sweepAdjacency func(item int32) []int32
+
+// buildTree runs the shared sweep over items with the given scalar
+// values and precomputed sweep order. The adjacency provider is
+// consulted once per item, in sweep order, so providers may rely on
+// every earlier-order item being processed. Total cost beyond the sort
+// is O(candidates·α(n)) union-find work — the bound of Section II-B.
+func buildTree(values []float64, order []int32, adj sweepAdjacency) *Tree {
+	n := len(values)
+	t := &Tree{
+		Parent: make([]int32, n),
+		Scalar: make([]float64, n),
+		Order:  order,
+	}
+	copy(t.Scalar, values)
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	s := newTreeSweep(n)
+	for _, item := range order {
+		s.step(t, adj(item), item)
+	}
+	return t
+}
+
+// treeSweep bundles the union-find state of one descending sweep.
+type treeSweep struct {
+	dsu       *unionfind.DSU
+	compRoot  []int32 // compRoot[r]: tree node rooting the set with representative r
+	processed []bool
+}
+
+// newTreeSweep allocates sweep state over n items.
+func newTreeSweep(n int) *treeSweep {
+	s := &treeSweep{
+		dsu:       unionfind.New(n),
+		compRoot:  make([]int32, n),
+		processed: make([]bool, n),
+	}
+	for i := range s.compRoot {
+		s.compRoot[i] = int32(i)
+	}
+	return s
+}
+
+// step processes one item of the descending sweep: every processed
+// candidate in a different subtree gets that subtree's root attached
+// beneath the current item, which becomes the merged subtree's root.
+func (s *treeSweep) step(t *Tree, candidates []int32, item int32) {
+	for _, c := range candidates {
+		if !s.processed[c] {
+			continue // the pseudocode's "j < i" guard
+		}
+		ri, rc := s.dsu.Find(int(item)), s.dsu.Find(int(c))
+		if ri == rc {
+			continue // already in the same subtree
+		}
+		t.Parent[s.compRoot[rc]] = item
+		s.dsu.Union(ri, rc)
+		s.compRoot[s.dsu.Find(int(item))] = item
+	}
+	s.processed[item] = true
+}

@@ -1,10 +1,10 @@
 package measures
 
 import (
-	"runtime"
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // ParallelBetweennessCentrality computes exact Brandes betweenness
@@ -16,12 +16,11 @@ import (
 // On the multi-million-edge graphs of Table II even the parallel exact
 // computation is slow; combine with source sampling via
 // ApproxBetweennessCentrality when only the field's shape matters.
+// Graphs below the shared par.SerialCutoff run the serial kernel
+// directly — sharding overhead dominates there.
 func ParallelBetweennessCentrality(g *graph.Graph) []float64 {
 	n := g.NumVertices()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
+	workers := par.Workers(n)
 	if workers <= 1 {
 		return BetweennessCentrality(g)
 	}
@@ -54,10 +53,7 @@ func ParallelBetweennessCentrality(g *graph.Graph) []float64 {
 // vertex sharded across cores.
 func ParallelClosenessCentrality(g *graph.Graph) []float64 {
 	n := g.NumVertices()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
+	workers := par.Workers(n)
 	if workers <= 1 {
 		return ClosenessCentrality(g)
 	}

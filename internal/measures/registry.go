@@ -1,0 +1,189 @@
+package measures
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Kind says whether a measure assigns scalars to vertices or to edges,
+// which decides whether its field feeds Algorithm 1 or Algorithm 3.
+type Kind int
+
+const (
+	// Vertex measures produce one value per vertex.
+	Vertex Kind = iota
+	// Edge measures produce one value per edge.
+	Edge
+)
+
+func (k Kind) String() string {
+	if k == Edge {
+		return "edge"
+	}
+	return "vertex"
+}
+
+// Spec declares a named scalar measure for the registry: its kind, a
+// serial compute function, and an optional multi-core variant. Every
+// consumer of measures — the HTTP server, the terrain CLI, the
+// experiment harness, the public scalarfield API — resolves measures
+// through the registry, so registering a Spec once lights the measure
+// up everywhere at the same time.
+type Spec struct {
+	// Kind is Vertex or Edge.
+	Kind Kind
+	// Doc is a one-line description surfaced in CLI help and docs.
+	Doc string
+	// Compute evaluates the measure.
+	Compute func(g *graph.Graph) []float64
+	// Parallel, when non-nil, is a multi-core variant of Compute. It
+	// must agree with Compute up to floating-point summation order.
+	Parallel func(g *graph.Graph) []float64
+}
+
+// Values evaluates the measure, using the Parallel variant when one is
+// registered, parallel execution was requested, and the graph is large
+// enough to clear the shared par.SerialCutoff worker gate.
+func (s Spec) Values(g *graph.Graph, parallel bool) []float64 {
+	if parallel && s.Parallel != nil && g.NumVertices() >= par.SerialCutoff {
+		return s.Parallel(g)
+	}
+	return s.Compute(g)
+}
+
+var registry = map[string]Spec{}
+
+// Register adds a measure under the given name. It panics on an empty
+// name, a nil Compute, or a duplicate registration — all programmer
+// errors caught at init time, never at serving time.
+func Register(name string, s Spec) {
+	if name == "" {
+		panic("measures: Register with empty name")
+	}
+	if s.Compute == nil {
+		panic(fmt.Sprintf("measures: Register(%q) with nil Compute", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("measures: duplicate Register(%q)", name))
+	}
+	registry[name] = s
+}
+
+// Lookup resolves a registered measure by name.
+func Lookup(name string) (Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns every registered measure name in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ExactBetweennessLimit is the vertex count above which the registered
+// "betweenness" measure switches from exact Brandes (O(|V|·|E|)) to
+// source-sampled approximation. It sits a factor above the shared
+// par.SerialCutoff so the parallel exact kernel has a real window:
+// graphs in (SerialCutoff, ExactBetweennessLimit] shard the exact
+// computation across cores before sampling takes over. It also
+// replaces the previously inconsistent per-command cutoffs (4000 in
+// serve, 5000 in terrain).
+const ExactBetweennessLimit = 4 * par.SerialCutoff
+
+// betweennessSamples and betweennessSeed fix the sampled-source
+// configuration so registry results are reproducible run to run.
+const (
+	betweennessSamples = 512
+	betweennessSeed    = 1
+)
+
+// adaptiveBetweenness is the registry's betweenness policy, shared by
+// the serial and parallel entries: exact on small graphs, sampled
+// beyond ExactBetweennessLimit where exact cost is prohibitive.
+func adaptiveBetweenness(g *graph.Graph, exact func(*graph.Graph) []float64) []float64 {
+	if g.NumVertices() > ExactBetweennessLimit {
+		return ApproxBetweennessCentrality(g, betweennessSamples, betweennessSeed)
+	}
+	return exact(g)
+}
+
+func init() {
+	Register("kcore", Spec{
+		Kind:    Vertex,
+		Doc:     "K-core number KC(v): largest K with v in a K-core (Section II-D)",
+		Compute: CoreNumbersFloat,
+	})
+	Register("onion", Spec{
+		Kind:    Vertex,
+		Doc:     "onion-decomposition layer: a strictly finer peeling than kcore",
+		Compute: OnionLayersFloat,
+	})
+	Register("degree", Spec{
+		Kind:    Vertex,
+		Doc:     "degree centrality",
+		Compute: DegreeCentrality,
+	})
+	Register("betweenness", Spec{
+		Kind: Vertex,
+		Doc:  "Brandes betweenness; source-sampled beyond ExactBetweennessLimit vertices",
+		Compute: func(g *graph.Graph) []float64 {
+			return adaptiveBetweenness(g, BetweennessCentrality)
+		},
+		Parallel: func(g *graph.Graph) []float64 {
+			return adaptiveBetweenness(g, ParallelBetweennessCentrality)
+		},
+	})
+	Register("closeness", Spec{
+		Kind:     Vertex,
+		Doc:      "component-normalized closeness centrality",
+		Compute:  ClosenessCentrality,
+		Parallel: ParallelClosenessCentrality,
+	})
+	Register("harmonic", Spec{
+		Kind:    Vertex,
+		Doc:     "harmonic centrality",
+		Compute: HarmonicCentrality,
+	})
+	Register("pagerank", Spec{
+		Kind: Vertex,
+		Doc:  "PageRank with damping 0.85",
+		Compute: func(g *graph.Graph) []float64 {
+			return PageRank(g, 0.85, 1e-10, 200)
+		},
+	})
+	Register("katz", Spec{
+		Kind: Vertex,
+		Doc:  "Katz centrality with automatic safe attenuation",
+		Compute: func(g *graph.Graph) []float64 {
+			return KatzCentrality(g, 0, 1e-10, 500)
+		},
+	})
+	Register("triangles", Spec{
+		Kind:    Vertex,
+		Doc:     "per-vertex triangle participation count",
+		Compute: TriangleDensityField,
+	})
+	Register("clustering", Spec{
+		Kind:    Vertex,
+		Doc:     "local clustering coefficient",
+		Compute: ClusteringCoefficients,
+	})
+	Register("ktruss", Spec{
+		Kind:    Edge,
+		Doc:     "K-truss number KT(e): largest K with e in a K-truss (Section II-D)",
+		Compute: TrussNumbersFloat,
+	})
+	Register("edgebetweenness", Spec{
+		Kind:    Edge,
+		Doc:     "exact per-edge betweenness centrality",
+		Compute: EdgeBetweennessCentrality,
+	})
+}
