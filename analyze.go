@@ -96,35 +96,12 @@ type AnalyzeOptions struct {
 // (Algorithm 1 or 3 plus Algorithm 2, chosen by the measure's kind),
 // lay the tree out, and color it — by its own heights, or by the
 // ColorBy measure when given.
+//
+// Each call uses a fresh Analyzer; callers running many analyses
+// should hold their own Analyzer so its pooled sweep state is reused
+// across calls.
 func Analyze(g *Graph, measure string, opts AnalyzeOptions) (*Terrain, error) {
-	values, edge, err := MeasureValues(g, measure, opts.Parallel)
-	if err != nil {
-		return nil, err
-	}
-	topts := TerrainOptions{SimplifyBins: opts.SimplifyBins, Layout: opts.Layout}
-	var t *Terrain
-	if edge {
-		t, err = NewEdgeTerrain(g, values, topts)
-	} else {
-		t, err = NewVertexTerrain(g, values, topts)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if opts.ColorBy != "" {
-		cv, cEdge, err := MeasureValues(g, opts.ColorBy, opts.Parallel)
-		if err != nil {
-			return nil, err
-		}
-		if cEdge != edge {
-			return nil, fmt.Errorf("scalarfield: color measure %q and height measure %q disagree on vertex/edge basis",
-				opts.ColorBy, measure)
-		}
-		if err := t.ColorByValues(cv); err != nil {
-			return nil, err
-		}
-	}
-	return t, nil
+	return NewAnalyzer().Analyze(g, measure, opts)
 }
 
 func unknownMeasure(name string) error {

@@ -1,0 +1,91 @@
+package scalarfield
+
+// Analyzer is the pooled front door for repeated analyses: it keeps
+// the transient state of the measure→sweep→tree hot path — the sweep
+// order, counting-sort buckets, union-find state, and raw tree arrays
+// — alive between Analyze calls, so a long-lived caller (an HTTP
+// server answering per-request analyses, an experiment sweep) stops
+// re-allocating O(|V|) scratch per run. The one-shot package-level
+// Analyze routes through a fresh Analyzer; holding one amortizes the
+// same buffers across calls.
+//
+// Every result an Analyzer returns owns its storage outright — only
+// intermediate state lives in the pool — so Terrains from successive
+// calls remain valid indefinitely. An Analyzer is not safe for
+// concurrent use; hold one per goroutine, or serialize access as
+// cmd/serve does.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Analyzer runs the Analyze pipeline with pooled sweep state. The zero
+// value is ready to use.
+type Analyzer struct {
+	pool core.TreeBuilder
+}
+
+// NewAnalyzer returns an Analyzer with an empty pool. The first
+// Analyze call sizes the buffers; later calls reuse them.
+func NewAnalyzer() *Analyzer { return &Analyzer{} }
+
+// Analyze is the pooled equivalent of the package-level Analyze: it
+// evaluates the registered measure, builds the scalar field and its
+// super scalar tree through the builder pool, lays the tree out, and
+// colors it. Output is identical to the package-level Analyze.
+func (a *Analyzer) Analyze(g *Graph, measure string, opts AnalyzeOptions) (*Terrain, error) {
+	values, edge, err := MeasureValues(g, measure, opts.Parallel)
+	if err != nil {
+		return nil, err
+	}
+	topts := TerrainOptions{SimplifyBins: opts.SimplifyBins, Layout: opts.Layout}
+	var t *Terrain
+	if edge {
+		t, err = a.edgeTerrain(g, values, topts)
+	} else {
+		t, err = a.vertexTerrain(g, values, topts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.ColorBy != "" {
+		cv, cEdge, err := MeasureValues(g, opts.ColorBy, opts.Parallel)
+		if err != nil {
+			return nil, err
+		}
+		if cEdge != edge {
+			return nil, fmt.Errorf("scalarfield: color measure %q and height measure %q disagree on vertex/edge basis",
+				opts.ColorBy, measure)
+		}
+		if err := t.ColorByValues(cv); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// vertexTerrain is NewVertexTerrain with the tree built on the pool.
+func (a *Analyzer) vertexTerrain(g *Graph, values []float64, o TerrainOptions) (*Terrain, error) {
+	f, err := core.NewVertexField(g, values)
+	if err != nil {
+		return nil, err
+	}
+	if o.SimplifyBins > 0 {
+		f = core.SimplifyVertexField(f, o.SimplifyBins)
+	}
+	return newTerrain(a.pool.VertexSuperTree(f), o)
+}
+
+// edgeTerrain is NewEdgeTerrain with the tree built on the pool.
+func (a *Analyzer) edgeTerrain(g *Graph, values []float64, o TerrainOptions) (*Terrain, error) {
+	f, err := core.NewEdgeField(g, values)
+	if err != nil {
+		return nil, err
+	}
+	if o.SimplifyBins > 0 {
+		f = core.SimplifyEdgeField(f, o.SimplifyBins)
+	}
+	return newTerrain(a.pool.EdgeSuperTree(f), o)
+}

@@ -75,12 +75,15 @@ func BenchmarkTable2VertexTree(b *testing.B) {
 	}
 }
 
-// BenchmarkTable2VertexTreeParallel ablates the parallel-by-default
-// sweep-order sort on the Table II vertex rows: "serial" pins the
-// sort to one core, "parallel" is the production default. The gap is
-// the speedup the paper's complexity analysis predicts from attacking
-// the dominant O(|V|·log|V|) term; graphs below par.SerialCutoff
-// show none because both paths take the serial fallback.
+// BenchmarkTable2VertexTreeParallel ablates the sweep-order drivers on
+// the Table II vertex rows: "serial" pins the comparison sort to one
+// core, "parallel" is the production default (which takes the
+// linear-time counting path on these integer K-core fields), and
+// "pooled" additionally reuses all sweep state through a
+// core.TreeBuilder — run with -benchmem to see its allocs/op collapse
+// to O(1). The serial/parallel gap is the speedup the paper's
+// complexity analysis predicts from attacking the dominant
+// O(|V|·log|V|) term.
 func BenchmarkTable2VertexTreeParallel(b *testing.B) {
 	for _, name := range []string{"Wikipedia", "Cit-Patent"} {
 		g := benchGraph(b, name)
@@ -93,6 +96,13 @@ func BenchmarkTable2VertexTreeParallel(b *testing.B) {
 		b.Run(name+"/parallel", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				core.BuildVertexTree(f)
+			}
+		})
+		b.Run(name+"/pooled", func(b *testing.B) {
+			var tb core.TreeBuilder
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tb.BuildVertexTree(f)
 			}
 		})
 	}

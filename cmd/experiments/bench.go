@@ -1,0 +1,148 @@
+package main
+
+// The perf-trajectory experiment: a fixed set of hot-path kernels —
+// tree construction with serial, parallel, and pooled sweep drivers,
+// and the per-source-BFS centrality kernels — timed with allocation
+// counts and written as machine-readable JSON (BENCH_2.json), so the
+// effect of each PR on the hot path is tracked as checked-in evidence
+// rather than folklore. CI runs it with -benchiters 1 as a smoke test;
+// locally, higher iteration counts give stable numbers.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	scalarfield "repro"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/measures"
+)
+
+var benchIters = flag.Int("benchiters", 10,
+	"iterations per kernel in -exp bench (1 = smoke run)")
+
+func init() {
+	// Opt-in: timing kernels on a heap warmed by other experiments
+	// would be misleading, and -exp all should stay table-regeneration
+	// fast. CI and local perf runs invoke it by name.
+	registerOptIn("bench", "hot-path kernel timings + allocs, written to BENCH_2.json", runBench)
+}
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// measureKernel times fn over iters runs after one warm-up call,
+// reading allocation counters around the loop. A kernel error aborts
+// the measurement — a failing pipeline must never be recorded as a
+// plausible timing. Allocations from other goroutines are included,
+// so parallel kernels over-report slightly; the serial hot-path
+// kernels this file exists to track run on one goroutine and count
+// exactly.
+func measureKernel(name string, iters int, fn func() error) (benchResult, error) {
+	if err := fn(); err != nil { // warm-up: pooled kernels size their buffers here
+		return benchResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return benchResult{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return benchResult{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+	}, nil
+}
+
+func runBench(cfg config) error {
+	g, err := datasets.Generate("GrQc", cfg.scale, cfg.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("GrQc stand-in at scale %g: %d vertices, %d edges; %d iters/kernel\n",
+		cfg.scale, g.NumVertices(), g.NumEdges(), *benchIters)
+
+	kc := measures.CoreNumbersFloat(g)
+	vf := core.MustVertexField(g, kc)
+	ef := core.MustEdgeField(g, measures.TrussNumbersFloat(g))
+	var pool core.TreeBuilder
+	analyzer := scalarfield.NewAnalyzer()
+
+	ok := func(fn func()) func() error {
+		return func() error { fn(); return nil }
+	}
+	kernels := []struct {
+		name string
+		fn   func() error
+	}{
+		{"vertex-tree/serial-sort", ok(func() { core.BuildVertexTreeSerial(vf) })},
+		{"vertex-tree/parallel-default", ok(func() { core.BuildVertexTree(vf) })},
+		{"vertex-tree/pooled", ok(func() { pool.BuildVertexTree(vf) })},
+		{"edge-tree/parallel-default", ok(func() { core.BuildEdgeTree(ef) })},
+		{"edge-tree/pooled", ok(func() { pool.BuildEdgeTree(ef) })},
+		{"supertree/pooled", ok(func() { pool.VertexSuperTree(vf) })},
+		{"closeness/serial", ok(func() { measures.ClosenessCentrality(g) })},
+		{"closeness/parallel", ok(func() { measures.ParallelClosenessCentrality(g) })},
+		{"harmonic/serial", ok(func() { measures.HarmonicCentrality(g) })},
+		{"harmonic/parallel", ok(func() { measures.ParallelHarmonicCentrality(g) })},
+		{"betweenness/sampled-64", ok(func() { measures.ApproxBetweennessCentrality(g, 64, 1) })},
+		{"analyze/kcore-pooled", func() error {
+			_, err := analyzer.Analyze(g, "kcore", scalarfield.AnalyzeOptions{})
+			return err
+		}},
+	}
+
+	results := make([]benchResult, 0, len(kernels))
+	fmt.Printf("%-28s %14s %12s %14s\n", "Kernel", "ns/op", "allocs/op", "B/op")
+	for _, k := range kernels {
+		r, err := measureKernel(k.name, *benchIters, k.fn)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		fmt.Printf("%-28s %14.0f %12.1f %14.0f\n", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+
+	out := struct {
+		Dataset  string        `json:"dataset"`
+		Scale    float64       `json:"scale"`
+		Vertices int           `json:"vertices"`
+		Edges    int           `json:"edges"`
+		Iters    int           `json:"iters"`
+		MaxProcs int           `json:"gomaxprocs"`
+		Results  []benchResult `json:"results"`
+	}{"GrQc", cfg.scale, g.NumVertices(), g.NumEdges(), *benchIters, runtime.GOMAXPROCS(0), results}
+
+	path := filepath.Join(cfg.out, "BENCH_2.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

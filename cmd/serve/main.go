@@ -18,6 +18,10 @@
 //	                     (the "Linked-2D-Displays callback")
 //	α slider             list maximal α-connected components
 //	spectrum             the contour spectrum B0(α) curve as JSON
+//	measure selector     switch the served measure at runtime
+//	                     (/measure?name=ktruss); re-analyses run on a
+//	                     pooled scalarfield.Analyzer, so no per-request
+//	                     O(|V|) sweep-state allocation
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	scalarfield "repro"
 	"repro/internal/baselines"
@@ -59,16 +64,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
+	t, _, _ := srv.view()
 	log.Printf("terrain viewer on http://%s/ (%s, measure=%s, %d super nodes)",
-		*addr, srv.name, *measure, srv.terrain.Tree.Len())
+		*addr, srv.name, *measure, t.Tree.Len())
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
 }
 
-// server holds the immutable analysis products; HTTP handlers only
-// read them, so no locking is needed.
+// server hosts the graph plus the current analysis products. The graph
+// is immutable; the terrain, spectrum, and measure can be swapped at
+// runtime through the /measure endpoint, so handlers read them through
+// an RWMutex. One pooled Analyzer, guarded by the same write lock,
+// serves every re-analysis: its sweep state (order buffers, union-find
+// arrays, counting-sort buckets) warms up on the first request and is
+// reused for the rest of the process lifetime.
 type server struct {
-	name     string
-	g        *graph.Graph
+	name string
+	g    *graph.Graph
+	bins int
+
+	// analyzerMu serializes use of the pooled analyzer separately from
+	// mu, so a long re-analysis never blocks the read handlers — they
+	// keep serving the previous terrain until the swap.
+	analyzerMu sync.Mutex
+	analyzer   *scalarfield.Analyzer
+
+	mu       sync.RWMutex
+	measure  string
+	colorBy  string
 	terrain  *scalarfield.Terrain
 	spectrum *contour.Spectrum
 	edges    bool // measure is edge-based
@@ -99,26 +121,74 @@ func newServer(input, dataset string, scale float64, seed int64, measure, colorB
 		name = dataset
 	}
 
+	s := &server{name: name, g: g, bins: bins, analyzer: scalarfield.NewAnalyzer()}
+	// The raw flag value, not colorFor: a cross-basis -color is a
+	// startup error, not something to silently drop.
+	if err := s.setMeasure(measure, colorBy, true); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// setMeasure re-runs the analysis pipeline for the named measure
+// (optionally colored by a second one) through the pooled analyzer and
+// swaps the served terrain. The analysis runs outside the read lock:
+// readers keep serving the old terrain until the new one is ready.
+// With rememberColor, colorBy becomes the sticky preference in the
+// same critical section as the swap, so the served coloring and the
+// stored preference never diverge under concurrent switches.
+func (s *server) setMeasure(measure, colorBy string, rememberColor bool) error {
 	info, ok := scalarfield.LookupMeasure(measure)
 	if !ok {
-		return nil, fmt.Errorf("unknown measure %q (try one of %s)",
+		return fmt.Errorf("unknown measure %q (try one of %s)",
 			measure, strings.Join(scalarfield.Measures(), ", "))
 	}
-	t, err := scalarfield.Analyze(g, measure, scalarfield.AnalyzeOptions{
-		SimplifyBins: bins,
+	s.analyzerMu.Lock()
+	t, err := s.analyzer.Analyze(s.g, measure, scalarfield.AnalyzeOptions{
+		SimplifyBins: s.bins,
 		ColorBy:      colorBy,
 		Parallel:     true,
 	})
+	s.analyzerMu.Unlock()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &server{
-		name:     name,
-		g:        g,
-		terrain:  t,
-		spectrum: contour.NewSpectrum(t.Tree),
-		edges:    info.Edge,
-	}, nil
+	sp := contour.NewSpectrum(t.Tree)
+	s.mu.Lock()
+	s.measure, s.terrain, s.spectrum, s.edges = measure, t, sp, info.Edge
+	if rememberColor {
+		s.colorBy = colorBy
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// colorFor resolves the preferred color measure (the -color flag, or
+// the last explicit color= override) against the named height measure:
+// it carries over while it shares the measure's vertex/edge basis and
+// is dropped — for this analysis only, the preference stays — when it
+// does not. Keeping the preference sticky means kcore→ktruss→kcore
+// round-trips restore the original coloring.
+func (s *server) colorFor(measure string) string {
+	s.mu.RLock()
+	colorBy := s.colorBy
+	s.mu.RUnlock()
+	if colorBy == "" {
+		return ""
+	}
+	mInfo, ok := scalarfield.LookupMeasure(measure)
+	cInfo, cok := scalarfield.LookupMeasure(colorBy)
+	if !ok || !cok || mInfo.Edge != cInfo.Edge {
+		return ""
+	}
+	return colorBy
+}
+
+// view returns a consistent snapshot of the served analysis products.
+func (s *server) view() (t *scalarfield.Terrain, sp *contour.Spectrum, edges bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.terrain, s.spectrum, s.edges
 }
 
 func (s *server) routes() *http.ServeMux {
@@ -130,7 +200,43 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/peaks", s.handlePeaks)
 	mux.HandleFunc("/select", s.handleSelect)
 	mux.HandleFunc("/spectrum", s.handleSpectrum)
+	mux.HandleFunc("/measure", s.handleMeasure)
 	return mux
+}
+
+// handleMeasure switches the served measure: /measure?name=ktruss
+// re-runs the analysis on the pooled analyzer and swaps the terrain;
+// with no name it reports the current measure and the registry. The
+// startup -color measure carries over across switches while its basis
+// matches; pass an explicit color= (possibly empty) to override.
+func (s *server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name != "" {
+		// An explicit color= goes straight to the pipeline (a bad one
+		// is the client's error to see) and, on success, becomes the
+		// sticky preference; otherwise the stored preference carries
+		// over where its basis fits.
+		explicit := r.URL.Query().Has("color")
+		var colorBy string
+		if explicit {
+			colorBy = r.URL.Query().Get("color")
+		} else {
+			colorBy = s.colorFor(name)
+		}
+		if err := s.setMeasure(name, colorBy, explicit); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	s.mu.RLock()
+	resp := struct {
+		Measure    string   `json:"measure"`
+		Edge       bool     `json:"edge"`
+		SuperNodes int      `json:"superNodes"`
+		Available  []string `json:"available"`
+	}{s.measure, s.edges, s.terrain.Tree.Len(), scalarfield.Measures()}
+	s.mu.RUnlock()
+	writeJSON(w, resp)
 }
 
 func (s *server) handleTerrain(w http.ResponseWriter, r *http.Request) {
@@ -140,7 +246,8 @@ func (s *server) handleTerrain(w http.ResponseWriter, r *http.Request) {
 		Width:  intParam(r, "w", 960),
 		Height: intParam(r, "h", 720),
 	}
-	img := s.terrain.Render(opts)
+	t, _, _ := s.view()
+	img := t.Render(opts)
 	w.Header().Set("Content-Type", "image/png")
 	if err := render.EncodePNG(w, img); err != nil {
 		log.Printf("terrain.png: %v", err)
@@ -155,7 +262,8 @@ func (s *server) handleTreemap(w http.ResponseWriter, r *http.Request) {
 	if size > 1024 {
 		size = 1024
 	}
-	img := s.terrain.RenderTreemap(size)
+	t, _, _ := s.view()
+	img := t.RenderTreemap(size)
 	w.Header().Set("Content-Type", "image/png")
 	if err := render.EncodePNG(w, img); err != nil {
 		log.Printf("treemap.png: %v", err)
@@ -165,20 +273,21 @@ func (s *server) handleTreemap(w http.ResponseWriter, r *http.Request) {
 // handleLinked renders the paper's linked 2D display: a spring layout
 // of the component selected by a click at layout coordinates (x,y).
 func (s *server) handleLinked(w http.ResponseWriter, r *http.Request) {
-	node, ok := s.nodeAt(r)
+	t, _, edges := s.view()
+	node, ok := nodeAt(t, r)
 	if !ok {
 		http.Error(w, "no node at the given point", http.StatusNotFound)
 		return
 	}
-	items := s.terrain.Tree.SubtreeItems(node)
-	vertices := s.itemVertices(items)
+	items := t.Tree.SubtreeItems(node)
+	vertices := s.itemVertices(items, edges)
 	if len(vertices) > 3000 {
 		vertices = vertices[:3000] // keep the interactive path responsive
 	}
 	sub, origIDs := graph.InducedSubgraph(s.g, vertices)
 	pos := baselines.SpringLayout(sub, baselines.SpringOptions{Seed: 7, Iterations: 150})
 	colors := make([]color.RGBA, sub.NumVertices())
-	scalars := s.terrain.Tree.Scalar
+	scalars := t.Tree.Scalar
 	lo, hi := scalars[0], scalars[0]
 	for _, v := range scalars {
 		if v < lo {
@@ -189,11 +298,11 @@ func (s *server) handleLinked(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	for v := range colors {
-		t := 0.5
+		c := 0.5
 		if hi > lo {
-			t = (s.itemScalar(origIDs[v]) - lo) / (hi - lo)
+			c = (s.itemScalar(t, edges, origIDs[v]) - lo) / (hi - lo)
 		}
-		colors[v] = terrain.Colormap(t)
+		colors[v] = terrain.Colormap(c)
 	}
 	img := baselines.DrawNodeLink(sub, pos, colors, baselines.DrawOptions{
 		Size: intParam(r, "size", 480),
@@ -206,8 +315,8 @@ func (s *server) handleLinked(w http.ResponseWriter, r *http.Request) {
 
 // itemVertices converts item IDs to vertex IDs: identity for vertex
 // fields, edge endpoints for edge fields.
-func (s *server) itemVertices(items []int32) []int32 {
-	if !s.edges {
+func (s *server) itemVertices(items []int32, edges bool) []int32 {
+	if !edges {
 		return items
 	}
 	seen := map[int32]bool{}
@@ -227,9 +336,9 @@ func (s *server) itemVertices(items []int32) []int32 {
 // itemScalar returns the scalar of the super node owning the item; for
 // edge-based fields the item is a vertex of the linked view, so the
 // vertex inherits the max incident edge scalar.
-func (s *server) itemScalar(item int32) float64 {
-	tree := s.terrain.Tree
-	if !s.edges {
+func (s *server) itemScalar(t *scalarfield.Terrain, edges bool, item int32) float64 {
+	tree := t.Tree
+	if !edges {
 		return tree.Scalar[tree.NodeOf[item]]
 	}
 	best := 0.0
@@ -241,23 +350,24 @@ func (s *server) itemScalar(item int32) float64 {
 	return best
 }
 
-func (s *server) nodeAt(r *http.Request) (int32, bool) {
+func nodeAt(t *scalarfield.Terrain, r *http.Request) (int32, bool) {
 	x := floatParam(r, "x", -1)
 	y := floatParam(r, "y", -1)
 	if x < 0 || x > 1 || y < 0 || y > 1 {
 		return 0, false
 	}
-	node := s.terrain.Layout.NodeAtPoint(x, y)
+	node := t.Layout.NodeAtPoint(x, y)
 	return node, node >= 0
 }
 
 func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
-	node, ok := s.nodeAt(r)
+	t, _, _ := s.view()
+	node, ok := nodeAt(t, r)
 	if !ok {
 		http.Error(w, "no node at the given point", http.StatusNotFound)
 		return
 	}
-	tree := s.terrain.Tree
+	tree := t.Tree
 	items := tree.SubtreeItems(node)
 	resp := struct {
 		Node      int32   `json:"node"`
@@ -273,7 +383,8 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handlePeaks(w http.ResponseWriter, r *http.Request) {
 	alpha := floatParam(r, "alpha", 0)
-	peaks := s.terrain.Peaks(alpha)
+	t, _, _ := s.view()
+	peaks := t.Peaks(alpha)
 	type peakJSON struct {
 		Node   int32   `json:"node"`
 		Height float64 `json:"height"`
@@ -290,7 +401,8 @@ func (s *server) handlePeaks(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleSpectrum(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.spectrum)
+	_, sp, _ := s.view()
+	writeJSON(w, sp)
 }
 
 var indexTmpl = template.Must(template.New("index").Parse(`<!doctype html>
@@ -301,8 +413,9 @@ body { font-family: sans-serif; margin: 1em; }
 img { border: 1px solid #ccc; }
 #info { max-width: 28em; font-size: 0.9em; white-space: pre-wrap; }
 </style>
-<h1>{{.Name}} — {{.Nodes}} vertices, {{.Edges}} edges, {{.Super}} super nodes</h1>
+<h1>{{.Name}} — {{.Nodes}} vertices, {{.Edges}} edges, <span id="super">{{.Super}}</span> super nodes</h1>
 <p>
+measure <select id="measure">{{$cur := .Measure}}{{range .Measures}}<option{{if eq . $cur}} selected{{end}}>{{.}}</option>{{end}}</select>
 angle <input id="angle" type="range" min="0" max="6.28" step="0.05" value="0.6">
 zoom <input id="zoom" type="range" min="0.5" max="6" step="0.1" value="1">
 α <input id="alpha" type="number" step="any" value="0" style="width:6em">
@@ -323,6 +436,16 @@ function refresh() {
     '/terrain.png?angle=' + angle.value + '&zoom=' + zoom.value + '&t=' + Date.now();
 }
 angle.oninput = refresh; zoom.oninput = refresh;
+document.getElementById('measure').onchange = async ev => {
+  const resp = await fetch('/measure?name=' + ev.target.value);
+  const body = await resp.text();
+  document.getElementById('info').textContent = body;
+  if (resp.ok) {
+    try { document.getElementById('super').textContent = JSON.parse(body).superNodes; } catch {}
+    refresh();
+    document.getElementById('treemap').src = '/treemap.png?t=' + Date.now();
+  }
+};
 document.getElementById('treemap').onclick = async ev => {
   const r = ev.target.getBoundingClientRect();
   const x = (ev.clientX - r.left) / r.width, y = (ev.clientY - r.top) / r.height;
@@ -342,12 +465,16 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	err := indexTmpl.Execute(w, struct {
+	s.mu.RLock()
+	data := struct {
 		Name         string
 		Nodes, Edges int
 		Super        int
-	}{s.name, s.g.NumVertices(), s.g.NumEdges(), s.terrain.Tree.Len()})
-	if err != nil {
+		Measure      string
+		Measures     []string
+	}{s.name, s.g.NumVertices(), s.g.NumEdges(), s.terrain.Tree.Len(), s.measure, scalarfield.Measures()}
+	s.mu.RUnlock()
+	if err := indexTmpl.Execute(w, data); err != nil {
 		log.Printf("index: %v", err)
 	}
 }

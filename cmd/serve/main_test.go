@@ -156,6 +156,100 @@ func TestEdgeMeasureServer(t *testing.T) {
 	}
 }
 
+func TestMeasureSwitchEndpoint(t *testing.T) {
+	ts := testServer(t, "kcore", "")
+
+	// No name: report the current measure and the registry.
+	var info struct {
+		Measure    string   `json:"measure"`
+		Edge       bool     `json:"edge"`
+		SuperNodes int      `json:"superNodes"`
+		Available  []string `json:"available"`
+	}
+	resp := get(t, ts.URL+"/measure")
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Measure != "kcore" || info.Edge || len(info.Available) == 0 {
+		t.Fatalf("initial measure state %+v", info)
+	}
+
+	// Switch to an edge measure; the pooled analyzer re-runs the whole
+	// pipeline and the served terrain swaps basis.
+	resp = get(t, ts.URL+"/measure?name=ktruss")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("measure switch status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Measure != "ktruss" || !info.Edge || info.SuperNodes < 1 {
+		t.Fatalf("post-switch measure state %+v", info)
+	}
+	if img := get(t, ts.URL+"/treemap.png?size=128"); img.StatusCode != http.StatusOK {
+		t.Fatalf("treemap after switch status %d", img.StatusCode)
+	}
+
+	// Unknown names are rejected and leave the served state intact.
+	if resp := get(t, ts.URL+"/measure?name=nonsense"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad measure switch status %d, want 400", resp.StatusCode)
+	}
+	resp = get(t, ts.URL+"/measure")
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Measure != "ktruss" {
+		t.Fatalf("measure changed to %q by a rejected switch", info.Measure)
+	}
+}
+
+func TestMeasureSwitchCarriesColorAcrossBases(t *testing.T) {
+	// Started with -color degree (vertex). A round trip through an edge
+	// measure — where the vertex coloring cannot apply — must neither
+	// fail nor forget the color preference: back on a vertex measure
+	// the degree coloring is restored (it would error if the basis
+	// check were wrong, and an explicit empty color= clears it).
+	ts := testServer(t, "kcore", "degree")
+	for _, q := range []string{"?name=ktruss", "?name=onion"} {
+		if resp := get(t, ts.URL+"/measure"+q); resp.StatusCode != http.StatusOK {
+			t.Fatalf("switch %s status %d", q, resp.StatusCode)
+		}
+	}
+	// An explicit cross-basis color is still a client error.
+	if resp := get(t, ts.URL+"/measure?name=onion&color=ktruss"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cross-basis explicit color status %d, want 400", resp.StatusCode)
+	}
+	// Explicitly clearing the color works.
+	if resp := get(t, ts.URL+"/measure?name=kcore&color="); resp.StatusCode != http.StatusOK {
+		t.Fatalf("clearing color status %d", resp.StatusCode)
+	}
+}
+
+func TestMeasureSwitchUnderConcurrentReads(t *testing.T) {
+	// Readers hammer the viewer while measures flip underneath; the
+	// RWMutex snapshotting must keep every response coherent (run with
+	// -race in CI).
+	ts := testServer(t, "kcore", "")
+	done := make(chan struct{})
+	go func() {
+		// http.Get directly: t.Fatal must not be called off the test
+		// goroutine.
+		defer close(done)
+		for i := 0; i < 6; i++ {
+			name := []string{"degree", "kcore", "onion"}[i%3]
+			if resp, err := http.Get(ts.URL + "/measure?name=" + name); err == nil {
+				resp.Body.Close()
+			}
+		}
+	}()
+	for i := 0; i < 12; i++ {
+		if resp := get(t, ts.URL+"/peaks?alpha=1"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("peaks during switches: status %d", resp.StatusCode)
+		}
+	}
+	<-done
+}
+
 func TestUnknownMeasureRejected(t *testing.T) {
 	if _, err := newServer("", "GrQc", 0.03, 42, "nonsense", "", 0); err == nil {
 		t.Fatal("unknown measure must be rejected")

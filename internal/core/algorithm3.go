@@ -38,10 +38,16 @@ func BuildEdgeTreeSerial(f *EdgeField) *Tree {
 // already-processed edge — so the resulting tree is identical to the
 // explicit Algorithm 3 loop.
 func prop3Adjacency(f *EdgeField, order []int32) sweepAdjacency {
-	m := f.G.NumEdges()
+	m, n := f.G.NumEdges(), f.G.NumVertices()
+	return prop3AdjacencyInto(f, order, make([]int32, m), make([]int32, n))
+}
+
+// prop3AdjacencyInto is prop3Adjacency with caller-supplied rank and
+// minIDEdge scratch (of length NumEdges and NumVertices respectively),
+// so the pooled TreeBuilder can reuse the two arrays across builds.
+func prop3AdjacencyInto(f *EdgeField, order, rank, minIDEdge []int32) sweepAdjacency {
 	// rank[e] = position of edge e in the sweep order ("index" in the
 	// paper's line 1); only needed to pick each endpoint's minimum.
-	rank := make([]int32, m)
 	for i, e := range order {
 		rank[e] = int32(i)
 	}
@@ -49,7 +55,6 @@ func prop3Adjacency(f *EdgeField, order []int32) sweepAdjacency {
 	// minIDEdge[v] = the incident edge of v with minimum sweep index
 	// (the paper's v.min_id_edge), or -1 for isolated vertices.
 	n := f.G.NumVertices()
-	minIDEdge := make([]int32, n)
 	for v := range minIDEdge {
 		minIDEdge[v] = -1
 	}

@@ -1,22 +1,43 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/par"
 )
 
-// sweepLess is the one sweep-order comparator: decreasing scalar, ties
-// broken by increasing item ID so the sweep is deterministic. Both the
-// serial and parallel sort drivers — and the merge step — use it, so
-// their outputs are bit-for-bit interchangeable.
-func sweepLess(values []float64, a, b int32) bool {
+// sweepCmp is the one encoding of the sweep total order: decreasing
+// scalar, ties broken by increasing item ID so the sweep is
+// deterministic. Every comparison-sort driver goes through it —
+// sortChunk passes it to slices.SortFunc, the merge step uses it via
+// sweepLess — and the counting sort of countingsort.go realizes the
+// same order bucket-wise, so every driver's output is bit-for-bit
+// interchangeable.
+//
+// Values must be NaN-free: NaN admits no total order, so with it the
+// drivers' outputs are unspecified and need not agree. The field
+// constructors (NewVertexField/NewEdgeField) reject NaN before any
+// sweep order is computed, which makes the precondition hold on every
+// production path.
+func sweepCmp(values []float64, a, b int32) int {
 	va, vb := values[a], values[b]
-	if va != vb {
-		return va > vb
+	switch {
+	case va > vb:
+		return -1
+	case va < vb:
+		return 1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
 	}
-	return a < b
+	return 0
+}
+
+// sweepLess is sweepCmp as a boolean less, for the merge step.
+func sweepLess(values []float64, a, b int32) bool {
+	return sweepCmp(values, a, b) < 0
 }
 
 // sweepOrder returns item IDs sorted by the sweep comparator with the
@@ -30,28 +51,44 @@ func sweepOrder(values []float64) []int32 {
 	return order
 }
 
-// parallelSweepOrder computes the same sweep order as sweepOrder using
-// a parallel merge sort: the index range is split into GOMAXPROCS
-// shards, each shard is sorted independently, and sorted shards are
-// pairwise merged. The comparator is shared with the serial driver, so
-// the result is bit-for-bit equal to the serial order; inputs below
-// par.SerialCutoff take the serial path directly.
+// parallelSweepOrder computes the same sweep order as sweepOrder,
+// taking the linear-time counting sort (countingsort.go) when the
+// field is integer-valued with a small span, and a parallel merge sort
+// otherwise: the index range is split into GOMAXPROCS shards, each
+// shard is sorted independently, and sorted shards are pairwise
+// merged. Both paths share the sweepLess total order, so the result is
+// bit-for-bit equal to the serial order; fractional inputs below
+// par.SerialCutoff take the serial comparison sort directly.
 //
 // Section II-B's complexity analysis makes the sort the asymptotic
 // bottleneck of Algorithm 1 — O(|V|·log|V|) against the union-find
-// sweep's near-linear O(|E|·α(|V|)) — so on Table II-scale graphs
-// parallelizing the sort attacks the dominant term.
-// BenchmarkAblationParallelSort quantifies the gain.
+// sweep's near-linear O(|E|·α(|V|)) — so on Table II-scale graphs the
+// counting path removes the dominant term outright for the integer
+// measures and the parallel sort attacks it for the rest.
+// BenchmarkAblationParallelSort and BenchmarkAblationCountingSort
+// quantify the gains.
 func parallelSweepOrder(values []float64) []int32 {
-	n := len(values)
-	order := make([]int32, n)
+	order := make([]int32, len(values))
+	if _, ok := tryCountingOrder(values, order, nil); ok {
+		return order
+	}
 	for i := range order {
 		order[i] = int32(i)
 	}
+	parallelSortOrder(order, values)
+	return order
+}
+
+// parallelSortOrder sorts the prefilled order slice by the sweep
+// comparator with the sharded merge sort (serial below the worker
+// cutoff). It is the comparison-sort backend shared by
+// parallelSweepOrder and the pooled TreeBuilder.
+func parallelSortOrder(order []int32, values []float64) {
+	n := len(order)
 	workers := par.Workers(n)
 	if workers < 2 {
 		sortChunk(order, values)
-		return order
+		return
 	}
 
 	// Sort shards in parallel.
@@ -92,14 +129,16 @@ func parallelSweepOrder(values []float64) []int32 {
 		mwg.Wait()
 		bounds = next
 	}
-	return order
 }
 
 // sortChunk sorts one shard of the order slice with the sweep
+// comparator. slices.SortFunc compares int32 elements directly — no
+// sort.Interface boxing and no index-based swap indirection — which
+// measurably outpaces the previous sort.Slice closure on the same
 // comparator.
 func sortChunk(order []int32, values []float64) {
-	sort.Slice(order, func(a, b int) bool {
-		return sweepLess(values, order[a], order[b])
+	slices.SortFunc(order, func(a, b int32) int {
+		return sweepCmp(values, a, b)
 	})
 }
 

@@ -34,18 +34,22 @@ func randomFieldFor(seed int64, n int, p float64, distinct bool) *VertexField {
 }
 
 func TestParallelSweepOrderMatchesSerial(t *testing.T) {
+	// Integer fields take the counting fast path, fractional fields the
+	// comparison sort; both must match the serial oracle bit for bit.
 	for seed := int64(0); seed < 4; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		// Above and below the 4096 parallel cutoff, with heavy ties.
 		for _, n := range []int{100, 5000, 10000} {
-			values := make([]float64, n)
-			for i := range values {
-				values[i] = float64(rng.Intn(7))
-			}
-			serial := sweepOrder(values)
-			par := parallelSweepOrder(values)
-			if !reflect.DeepEqual(serial, par) {
-				t.Fatalf("seed %d n=%d: parallel sweep order diverges", seed, n)
+			for _, offset := range []float64{0, 0.5} {
+				values := make([]float64, n)
+				for i := range values {
+					values[i] = float64(rng.Intn(7)) + offset
+				}
+				serial := sweepOrder(values)
+				par := parallelSweepOrder(values)
+				if !reflect.DeepEqual(serial, par) {
+					t.Fatalf("seed %d n=%d offset=%g: parallel sweep order diverges", seed, n, offset)
+				}
 			}
 		}
 	}
@@ -117,14 +121,16 @@ func BenchmarkAblationTreeSerialVsParallelSort(b *testing.B) {
 
 func TestParallelSweepOrderMultiWorkerPath(t *testing.T) {
 	// Force several workers even on single-CPU machines so the shard
-	// + merge path runs; results must be bit-identical to serial.
+	// + merge path runs; results must be bit-identical to serial. The
+	// +0.5 offset keeps the values fractional, which disqualifies the
+	// counting fast path and guarantees the merge sort actually runs.
 	old := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(old)
 	rng := rand.New(rand.NewSource(5))
 	for _, n := range []int{4096, 9999, 20000} {
 		values := make([]float64, n)
 		for i := range values {
-			values[i] = float64(rng.Intn(9))
+			values[i] = float64(rng.Intn(9)) + 0.5
 		}
 		if !reflect.DeepEqual(sweepOrder(values), parallelSweepOrder(values)) {
 			t.Fatalf("n=%d: sharded sweep order diverges", n)

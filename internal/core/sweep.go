@@ -33,35 +33,50 @@ func buildTree(values []float64, order []int32, adj sweepAdjacency) *Tree {
 		Scalar: make([]float64, n),
 		Order:  order,
 	}
+	var s treeSweep
+	runSweep(t, values, order, adj, &s)
+	return t
+}
+
+// runSweep initializes the tree arrays (which must already have length
+// len(values)) and runs the descending sweep with the given — possibly
+// pooled — sweep state, which it resets first.
+func runSweep(t *Tree, values []float64, order []int32, adj sweepAdjacency, s *treeSweep) {
 	copy(t.Scalar, values)
 	for i := range t.Parent {
 		t.Parent[i] = -1
 	}
-	s := newTreeSweep(n)
+	s.reset(len(values))
 	for _, item := range order {
 		s.step(t, adj(item), item)
 	}
-	return t
 }
 
-// treeSweep bundles the union-find state of one descending sweep.
+// treeSweep bundles the union-find state of one descending sweep. The
+// zero value is ready: reset sizes it for the field at hand, reusing
+// buffers across sweeps when the state is pooled.
 type treeSweep struct {
-	dsu       *unionfind.DSU
+	dsu       unionfind.DSU
 	compRoot  []int32 // compRoot[r]: tree node rooting the set with representative r
 	processed []bool
 }
 
-// newTreeSweep allocates sweep state over n items.
-func newTreeSweep(n int) *treeSweep {
-	s := &treeSweep{
-		dsu:       unionfind.New(n),
-		compRoot:  make([]int32, n),
-		processed: make([]bool, n),
+// reset prepares the sweep state for n items, reusing the existing
+// backing arrays when they are large enough.
+func (s *treeSweep) reset(n int) {
+	s.dsu.Reset(n)
+	if cap(s.compRoot) < n {
+		s.compRoot = make([]int32, n)
+		s.processed = make([]bool, n)
 	}
+	s.compRoot = s.compRoot[:n]
+	s.processed = s.processed[:n]
 	for i := range s.compRoot {
 		s.compRoot[i] = int32(i)
 	}
-	return s
+	for i := range s.processed {
+		s.processed[i] = false
+	}
 }
 
 // step processes one item of the descending sweep: every processed

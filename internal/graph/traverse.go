@@ -33,15 +33,41 @@ func ConnectedComponents(g *Graph) (labels []int32, count int) {
 }
 
 // BFSDistances returns hop distances from src to every vertex, with -1
-// for unreachable vertices.
+// for unreachable vertices. The returned slice is freshly allocated;
+// callers running one BFS per source should hold a BFSScratch and call
+// its Distances method instead, which allocates nothing after warm-up.
 func BFSDistances(g *Graph, src int32) []int32 {
+	var s BFSScratch
+	return s.Distances(g, src)
+}
+
+// BFSScratch holds the reusable state of repeated BFS traversals: the
+// distance array and the frontier queue. A zero BFSScratch is ready to
+// use; the buffers are sized on first use and grown only when a larger
+// graph arrives, so a scratch held per worker makes every subsequent
+// traversal allocation-free. Scratches are not safe for concurrent
+// use — give each goroutine its own.
+type BFSScratch struct {
+	dist  []int32
+	queue []int32
+}
+
+// Distances computes hop distances from src to every vertex, with -1
+// for unreachable vertices. The returned slice aliases the scratch's
+// internal storage: it is valid only until the next Distances call and
+// must not be modified or retained.
+func (s *BFSScratch) Distances(g *Graph, src int32) []int32 {
 	n := g.NumVertices()
-	dist := make([]int32, n)
+	if cap(s.dist) < n {
+		s.dist = make([]int32, n)
+		s.queue = make([]int32, 0, n)
+	}
+	dist := s.dist[:n]
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	queue := []int32{src}
+	queue := append(s.queue[:0], src)
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
 		for _, u := range g.Neighbors(v) {
@@ -51,6 +77,7 @@ func BFSDistances(g *Graph, src int32) []int32 {
 			}
 		}
 	}
+	s.dist, s.queue = dist, queue
 	return dist
 }
 

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomTraverseGraph(seed int64, n, m int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, m)
+	for len(edges) < m {
+		u, v := rng.Int31n(int32(n)), rng.Int31n(int32(n))
+		if u != v {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+func TestBFSScratchMatchesBFSDistances(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomTraverseGraph(seed, 120, 200)
+		var s BFSScratch
+		for src := int32(0); src < int32(g.NumVertices()); src += 7 {
+			want := BFSDistances(g, src)
+			got := s.Distances(g, src)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("seed %d src %d: scratch BFS diverges", seed, src)
+			}
+		}
+	}
+}
+
+func TestBFSScratchAcrossGraphSizes(t *testing.T) {
+	// One scratch reused over graphs of shrinking then growing size must
+	// resize correctly and never leak state between graphs.
+	var s BFSScratch
+	for _, n := range []int{50, 10, 200, 3} {
+		g := randomTraverseGraph(int64(n), n, 2*n)
+		for src := int32(0); src < int32(n); src += 5 {
+			if want, got := BFSDistances(g, src), s.Distances(g, src); !reflect.DeepEqual(want, got) {
+				t.Fatalf("n=%d src=%d: scratch BFS diverges after resize", n, src)
+			}
+		}
+	}
+}
+
+func TestBFSScratchAllocationFreeAfterWarmup(t *testing.T) {
+	g := randomTraverseGraph(1, 500, 1500)
+	var s BFSScratch
+	s.Distances(g, 0) // warm up the buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		s.Distances(g, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm BFSScratch.Distances allocates %v objects per run, want 0", allocs)
+	}
+}
+
+func TestBFSScratchResultAliasesScratch(t *testing.T) {
+	// The documented contract: the result is invalidated by the next
+	// call. Verify the two calls share storage so the contract is real
+	// (a regression to per-call allocation would silently cost O(|V|²)).
+	g := randomTraverseGraph(2, 64, 128)
+	var s BFSScratch
+	a := s.Distances(g, 0)
+	b := s.Distances(g, 1)
+	if &a[0] != &b[0] {
+		t.Fatal("BFSScratch.Distances returned distinct buffers; scratch is not being reused")
+	}
+}

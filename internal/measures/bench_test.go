@@ -1,0 +1,61 @@
+package measures
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Centrality kernel benchmarks. Run with -benchmem: the per-source-BFS
+// kernels (closeness, harmonic, Brandes) must show O(1) allocations
+// per call after the scratch rewrite — before it they allocated a
+// fresh distance array and queue per source, O(|V|) allocations and
+// O(|V|²) bytes per call.
+
+func benchCentralityGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	return randomGraph(1, 2000, 3.0)
+}
+
+func BenchmarkClosenessCentrality(b *testing.B) {
+	g := benchCentralityGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ClosenessCentrality(g)
+	}
+}
+
+func BenchmarkHarmonicCentrality(b *testing.B) {
+	g := benchCentralityGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HarmonicCentrality(g)
+	}
+}
+
+func BenchmarkBetweennessCentrality(b *testing.B) {
+	g := randomGraph(2, 600, 3.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BetweennessCentrality(g)
+	}
+}
+
+// BenchmarkBFSScratchVsFresh isolates the single-source cost: the
+// scratch path against the allocate-per-call baseline the centrality
+// kernels used to pay |V| times per run.
+func BenchmarkBFSScratchVsFresh(b *testing.B) {
+	g := benchCentralityGraph(b)
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.BFSDistances(g, int32(i%g.NumVertices()))
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		var s graph.BFSScratch
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Distances(g, int32(i%g.NumVertices()))
+		}
+	})
+}

@@ -48,20 +48,58 @@ func ApproxBetweennessCentrality(g *graph.Graph, samples int, seed int64) []floa
 	return betweennessFrom(g, sources, float64(n)/float64(samples))
 }
 
+// brandesScratch holds the per-worker state of the Brandes
+// accumulation: shortest-path counts, distances, dependency
+// accumulators, and the BFS visitation order. One scratch serves any
+// number of sources without further allocation.
+type brandesScratch struct {
+	sigma []float64 // shortest-path counts
+	dist  []int32
+	delta []float64 // dependency accumulators
+	order []int32
+}
+
+// resize sizes the scratch for an n-vertex graph, reusing the existing
+// buffers when they are large enough.
+func (s *brandesScratch) resize(n int) {
+	if cap(s.sigma) < n {
+		s.sigma = make([]float64, n)
+		s.dist = make([]int32, n)
+		s.delta = make([]float64, n)
+		s.order = make([]int32, 0, n)
+	}
+	s.sigma = s.sigma[:n]
+	s.dist = s.dist[:n]
+	s.delta = s.delta[:n]
+}
+
 // betweennessFrom runs the Brandes accumulation from the given sources.
 func betweennessFrom(g *graph.Graph, sources []int32, scale float64) []float64 {
+	bc := make([]float64, g.NumVertices())
+	var scratch brandesScratch
+	betweennessInto(g, sources, bc, &scratch)
+	// Each unordered pair is counted twice over undirected sources,
+	// so halve; scale corrects for source sampling.
+	for v := range bc {
+		bc[v] *= 0.5 * scale
+	}
+	return bc
+}
+
+// betweennessInto accumulates unscaled Brandes dependencies from the
+// given sources into bc, reusing the scratch across sources: after the
+// scratch has warmed up to the graph's size, the loop allocates
+// nothing.
+func betweennessInto(g *graph.Graph, sources []int32, bc []float64, scratch *brandesScratch) {
 	n := g.NumVertices()
-	bc := make([]float64, n)
-	sigma := make([]float64, n) // shortest-path counts
-	dist := make([]int32, n)
-	delta := make([]float64, n) // dependency accumulators
-	order := make([]int32, 0, n)
+	scratch.resize(n)
+	sigma, dist, delta := scratch.sigma, scratch.dist, scratch.delta
 
 	for _, s := range sources {
 		for i := 0; i < n; i++ {
 			sigma[i], dist[i], delta[i] = 0, -1, 0
 		}
-		order = order[:0]
+		order := scratch.order[:0]
 		sigma[s], dist[s] = 1, 0
 		order = append(order, s)
 		for head := 0; head < len(order); head++ {
@@ -86,13 +124,8 @@ func betweennessFrom(g *graph.Graph, sources []int32, scale float64) []float64 {
 			}
 			bc[w] += delta[w]
 		}
+		scratch.order = order
 	}
-	// Each unordered pair is counted twice over undirected sources,
-	// so halve; scale corrects for source sampling.
-	for v := range bc {
-		bc[v] *= 0.5 * scale
-	}
-	return bc
 }
 
 // ClosenessCentrality computes, for every vertex, (reachable-1) /
@@ -102,22 +135,30 @@ func betweennessFrom(g *graph.Graph, sources []int32, scale float64) []float64 {
 func ClosenessCentrality(g *graph.Graph) []float64 {
 	n := g.NumVertices()
 	out := make([]float64, n)
+	var scratch graph.BFSScratch
 	for v := 0; v < n; v++ {
-		dist := graph.BFSDistances(g, int32(v))
-		var sum, reach float64
-		for _, d := range dist {
-			if d > 0 {
-				sum += float64(d)
-				reach++
-			}
-		}
-		if sum > 0 {
-			// Scale by the reachable fraction so vertices in small
-			// components do not dominate.
-			out[v] = reach * reach / (float64(n-1) * sum)
-		}
+		out[v] = closenessOf(scratch.Distances(g, int32(v)), n)
 	}
 	return out
+}
+
+// closenessOf folds one source's BFS distances into its closeness
+// score, shared by the serial and parallel kernels so they agree
+// bitwise.
+func closenessOf(dist []int32, n int) float64 {
+	var sum, reach float64
+	for _, d := range dist {
+		if d > 0 {
+			sum += float64(d)
+			reach++
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	// Scale by the reachable fraction so vertices in small
+	// components do not dominate.
+	return reach * reach / (float64(n-1) * sum)
 }
 
 // HarmonicCentrality computes Σ_{u≠v} 1/d(v,u) with 1/∞ = 0, the
@@ -126,17 +167,23 @@ func ClosenessCentrality(g *graph.Graph) []float64 {
 func HarmonicCentrality(g *graph.Graph) []float64 {
 	n := g.NumVertices()
 	out := make([]float64, n)
+	var scratch graph.BFSScratch
 	for v := 0; v < n; v++ {
-		dist := graph.BFSDistances(g, int32(v))
-		var sum float64
-		for _, d := range dist {
-			if d > 0 {
-				sum += 1 / float64(d)
-			}
-		}
-		out[v] = sum
+		out[v] = harmonicOf(scratch.Distances(g, int32(v)))
 	}
 	return out
+}
+
+// harmonicOf folds one source's BFS distances into its harmonic score,
+// shared by the serial and parallel kernels so they agree bitwise.
+func harmonicOf(dist []int32) float64 {
+	var sum float64
+	for _, d := range dist {
+		if d > 0 {
+			sum += 1 / float64(d)
+		}
+	}
+	return sum
 }
 
 // PageRank computes PageRank with uniform teleport by power iteration

@@ -7,11 +7,24 @@ import (
 	"repro/internal/par"
 )
 
+// stridedSources returns worker w's share of the sources {w, w+workers,
+// w+2·workers, …} below n, preallocated to its exact length. The
+// strided partition keeps the load balanced when vertex IDs correlate
+// with degree (as in generated graphs).
+func stridedSources(w, n, workers int) []int32 {
+	sources := make([]int32, 0, (n-w+workers-1)/workers)
+	for s := w; s < n; s += workers {
+		sources = append(sources, int32(s))
+	}
+	return sources
+}
+
 // ParallelBetweennessCentrality computes exact Brandes betweenness
 // using all CPU cores: sources are sharded across workers, each worker
-// accumulates into a private vector, and the shards are summed at the
-// end. Results are deterministic (plain summation per vertex of
-// per-worker partial sums whose source partition is fixed).
+// accumulates into a private vector with its own Brandes scratch, and
+// the shards are summed at the end. Results are deterministic (plain
+// summation per vertex of per-worker partial sums whose source
+// partition is fixed).
 //
 // On the multi-million-edge graphs of Table II even the parallel exact
 // computation is slow; combine with source sampling via
@@ -30,13 +43,10 @@ func ParallelBetweennessCentrality(g *graph.Graph) []float64 {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// Strided partition keeps the load balanced when vertex
-			// IDs correlate with degree (as in generated graphs).
-			var sources []int32
-			for s := w; s < n; s += workers {
-				sources = append(sources, int32(s))
-			}
-			partials[w] = betweennessFrom(g, sources, 1)
+			bc := make([]float64, n)
+			var scratch brandesScratch
+			betweennessInto(g, stridedSources(w, n, workers), bc, &scratch)
+			partials[w] = bc
 		}(w)
 	}
 	wg.Wait()
@@ -46,38 +56,57 @@ func ParallelBetweennessCentrality(g *graph.Graph) []float64 {
 			out[v] += p[v]
 		}
 	}
+	// Halve the doubled unordered pairs, as in betweennessFrom.
+	for v := range out {
+		out[v] *= 0.5
+	}
 	return out
 }
 
-// ParallelClosenessCentrality computes closeness with one BFS per
-// vertex sharded across cores.
-func ParallelClosenessCentrality(g *graph.Graph) []float64 {
+// perSourceBFS shards the vertices across cores and evaluates fold on
+// each vertex's BFS distance vector, one reusable BFSScratch per
+// worker, so the whole sweep performs O(1) allocations per worker
+// rather than O(1) per source. It is the shared engine of the
+// closeness and harmonic parallel kernels.
+func perSourceBFS(g *graph.Graph, workers int, fold func(dist []int32) float64) []float64 {
 	n := g.NumVertices()
-	workers := par.Workers(n)
-	if workers <= 1 {
-		return ClosenessCentrality(g)
-	}
 	out := make([]float64, n)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var scratch graph.BFSScratch
 			for v := w; v < n; v += workers {
-				dist := graph.BFSDistances(g, int32(v))
-				var sum, reach float64
-				for _, d := range dist {
-					if d > 0 {
-						sum += float64(d)
-						reach++
-					}
-				}
-				if sum > 0 {
-					out[v] = reach * reach / (float64(n-1) * sum)
-				}
+				out[v] = fold(scratch.Distances(g, int32(v)))
 			}
 		}(w)
 	}
 	wg.Wait()
 	return out
+}
+
+// ParallelClosenessCentrality computes closeness with one BFS per
+// vertex sharded across cores. It agrees bitwise with
+// ClosenessCentrality: each vertex's score depends only on its own BFS.
+func ParallelClosenessCentrality(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	workers := par.Workers(n)
+	if workers <= 1 {
+		return ClosenessCentrality(g)
+	}
+	return perSourceBFS(g, workers, func(dist []int32) float64 {
+		return closenessOf(dist, n)
+	})
+}
+
+// ParallelHarmonicCentrality computes harmonic centrality with one BFS
+// per vertex sharded across cores. It agrees bitwise with
+// HarmonicCentrality: each vertex's score depends only on its own BFS.
+func ParallelHarmonicCentrality(g *graph.Graph) []float64 {
+	workers := par.Workers(g.NumVertices())
+	if workers <= 1 {
+		return HarmonicCentrality(g)
+	}
+	return perSourceBFS(g, workers, harmonicOf)
 }

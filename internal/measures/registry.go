@@ -148,9 +148,10 @@ func init() {
 		Parallel: ParallelClosenessCentrality,
 	})
 	Register("harmonic", Spec{
-		Kind:    Vertex,
-		Doc:     "harmonic centrality",
-		Compute: HarmonicCentrality,
+		Kind:     Vertex,
+		Doc:      "harmonic centrality",
+		Compute:  HarmonicCentrality,
+		Parallel: ParallelHarmonicCentrality,
 	})
 	Register("pagerank", Spec{
 		Kind: Vertex,

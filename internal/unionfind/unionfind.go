@@ -8,7 +8,7 @@
 package unionfind
 
 // DSU is a disjoint-set union structure over the integers [0, n).
-// The zero value is not usable; construct one with New.
+// Construct one with New, or call Reset on a zero value.
 type DSU struct {
 	parent []int32
 	rank   []int8
@@ -26,6 +26,26 @@ func New(n int) *DSU {
 		d.parent[i] = int32(i)
 	}
 	return d
+}
+
+// Reset re-initializes the structure to n singleton sets, reusing the
+// existing backing arrays when they are large enough. It lets pooled
+// callers (the scalar-tree builders) run repeated sweeps without
+// re-allocating O(n) union-find state per build.
+func (d *DSU) Reset(n int) {
+	if cap(d.parent) < n {
+		d.parent = make([]int32, n)
+		d.rank = make([]int8, n)
+	}
+	d.parent = d.parent[:n]
+	d.rank = d.rank[:n]
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	for i := range d.rank {
+		d.rank[i] = 0
+	}
+	d.count = n
 }
 
 // Len reports the number of elements the structure was built over.

@@ -21,6 +21,36 @@ func TestNewSingletons(t *testing.T) {
 	}
 }
 
+func TestResetRestoresSingletons(t *testing.T) {
+	d := New(6)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.UnionInto(4, 5)
+
+	// Shrink, same size, and grow; each reset must yield singletons
+	// with no state leaking from the merged past.
+	for _, n := range []int{3, 6, 20} {
+		d.Reset(n)
+		if d.Len() != n || d.Count() != n {
+			t.Fatalf("after Reset(%d): Len=%d Count=%d", n, d.Len(), d.Count())
+		}
+		for i := 0; i < n; i++ {
+			if got := d.Find(i); got != i {
+				t.Fatalf("after Reset(%d): Find(%d) = %d", n, i, got)
+			}
+		}
+		d.Union(0, n-1) // dirty it again before the next round
+	}
+
+	// A zero DSU must be usable through Reset.
+	var z DSU
+	z.Reset(4)
+	z.Union(1, 2)
+	if z.Count() != 3 || !z.Same(1, 2) {
+		t.Fatal("zero-value DSU not usable after Reset")
+	}
+}
+
 func TestUnionMergesSets(t *testing.T) {
 	d := New(4)
 	if !d.Union(0, 1) {
