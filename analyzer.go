@@ -31,11 +31,43 @@ type Analyzer struct {
 // Analyze call sizes the buffers; later calls reuse them.
 func NewAnalyzer() *Analyzer { return &Analyzer{} }
 
+// Analysis bundles every product of one pipeline run: the terrain plus
+// the raw per-item measure fields it was built from. The fields are
+// what downstream multi-scalar analyses (LCI/GCI, outlier scoring) and
+// the snapshot query layer consume; returning them here means one
+// pooled run yields everything, instead of re-evaluating the measure
+// to recover values the pipeline already computed.
+type Analysis struct {
+	// Terrain is the laid-out, colored terrain.
+	Terrain *Terrain
+	// Values is the raw (pre-simplification) height field, one value
+	// per vertex or per edge according to Edge. Owned by the caller.
+	Values []float64
+	// ColorValues is the raw color field when AnalyzeOptions.ColorBy
+	// was set; nil otherwise.
+	ColorValues []float64
+	// Edge reports whether the fields are edge-based.
+	Edge bool
+}
+
 // Analyze is the pooled equivalent of the package-level Analyze: it
 // evaluates the registered measure, builds the scalar field and its
 // super scalar tree through the builder pool, lays the tree out, and
 // colors it. Output is identical to the package-level Analyze.
 func (a *Analyzer) Analyze(g *Graph, measure string, opts AnalyzeOptions) (*Terrain, error) {
+	res, err := a.AnalyzeAll(g, measure, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Terrain, nil
+}
+
+// AnalyzeAll is Analyze keeping the intermediate products: it returns
+// the terrain together with the raw height (and color) fields the
+// measure registry produced. The fields are freshly computed slices
+// owned by the result — nothing aliases the analyzer's pooled state —
+// so an immutable snapshot can hold them indefinitely.
+func (a *Analyzer) AnalyzeAll(g *Graph, measure string, opts AnalyzeOptions) (*Analysis, error) {
 	values, edge, err := MeasureValues(g, measure, opts.Parallel)
 	if err != nil {
 		return nil, err
@@ -50,6 +82,7 @@ func (a *Analyzer) Analyze(g *Graph, measure string, opts AnalyzeOptions) (*Terr
 	if err != nil {
 		return nil, err
 	}
+	res := &Analysis{Terrain: t, Values: values, Edge: edge}
 	if opts.ColorBy != "" {
 		cv, cEdge, err := MeasureValues(g, opts.ColorBy, opts.Parallel)
 		if err != nil {
@@ -62,8 +95,9 @@ func (a *Analyzer) Analyze(g *Graph, measure string, opts AnalyzeOptions) (*Terr
 		if err := t.ColorByValues(cv); err != nil {
 			return nil, err
 		}
+		res.ColorValues = cv
 	}
-	return t, nil
+	return res, nil
 }
 
 // vertexTerrain is NewVertexTerrain with the tree built on the pool.

@@ -2,11 +2,13 @@ package main
 
 // The perf-trajectory experiment: a fixed set of hot-path kernels —
 // tree construction with serial, parallel, and pooled sweep drivers,
-// and the per-source-BFS centrality kernels — timed with allocation
-// counts and written as machine-readable JSON (BENCH_2.json), so the
-// effect of each PR on the hot path is tracked as checked-in evidence
-// rather than folklore. CI runs it with -benchiters 1 as a smoke test;
-// locally, higher iteration counts give stable numbers.
+// the per-source-BFS centrality kernels, and the snapshot-cache
+// hit/miss paths of internal/query — timed with allocation counts and
+// written as machine-readable JSON (-benchout, BENCH_3.json by
+// default), so the effect of each PR on the hot path is tracked as
+// checked-in evidence rather than folklore. CI runs it with
+// -benchiters 1 as a smoke test; locally, higher iteration counts
+// give stable numbers.
 
 import (
 	"encoding/json"
@@ -21,16 +23,20 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/measures"
+	"repro/internal/query"
 )
 
 var benchIters = flag.Int("benchiters", 10,
 	"iterations per kernel in -exp bench (1 = smoke run)")
 
+var benchOut = flag.String("benchout", "BENCH_3.json",
+	"output file for -exp bench results (joined to -out unless absolute)")
+
 func init() {
 	// Opt-in: timing kernels on a heap warmed by other experiments
 	// would be misleading, and -exp all should stay table-regeneration
 	// fast. CI and local perf runs invoke it by name.
-	registerOptIn("bench", "hot-path kernel timings + allocs, written to BENCH_2.json", runBench)
+	registerOptIn("bench", "hot-path kernel timings + allocs, written to -benchout", runBench)
 }
 
 type benchResult struct {
@@ -86,6 +92,9 @@ func runBench(cfg config) error {
 	ef := core.MustEdgeField(g, measures.TrussNumbersFloat(g))
 	var pool core.TreeBuilder
 	analyzer := scalarfield.NewAnalyzer()
+	warmEngine := query.NewEngine(query.Options{})
+	warmEngine.RegisterDataset("GrQc", g)
+	warmKey := query.Key{Dataset: "GrQc", Measure: "kcore"}
 
 	ok := func(fn func()) func() error {
 		return func() error { fn(); return nil }
@@ -107,6 +116,20 @@ func runBench(cfg config) error {
 		{"betweenness/sampled-64", ok(func() { measures.ApproxBetweennessCentrality(g, 64, 1) })},
 		{"analyze/kcore-pooled", func() error {
 			_, err := analyzer.Analyze(g, "kcore", scalarfield.AnalyzeOptions{})
+			return err
+		}},
+		// Snapshot-cache paths: a miss pays the full coalesced analysis
+		// (engine construction included, isolating it from warm pools);
+		// a hit is the steady-state concurrent read path — an LRU probe
+		// returning an immutable snapshot.
+		{"snapshot-cache/miss", func() error {
+			e := query.NewEngine(query.Options{})
+			e.RegisterDataset("GrQc", g)
+			_, err := e.Snapshot(query.Key{Dataset: "GrQc", Measure: "kcore"})
+			return err
+		}},
+		{"snapshot-cache/hit", func() error {
+			_, err := warmEngine.Snapshot(warmKey)
 			return err
 		}},
 	}
@@ -132,7 +155,10 @@ func runBench(cfg config) error {
 		Results  []benchResult `json:"results"`
 	}{"GrQc", cfg.scale, g.NumVertices(), g.NumEdges(), *benchIters, runtime.GOMAXPROCS(0), results}
 
-	path := filepath.Join(cfg.out, "BENCH_2.json")
+	path := *benchOut
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(cfg.out, path)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -19,9 +19,22 @@
 //	α slider             list maximal α-connected components
 //	spectrum             the contour spectrum B0(α) curve as JSON
 //	measure selector     switch the served measure at runtime
-//	                     (/measure?name=ktruss); re-analyses run on a
-//	                     pooled scalarfield.Analyzer, so no per-request
-//	                     O(|V|) sweep-state allocation
+//	                     (/measure?name=ktruss)
+//
+// The server is a thin frontend over internal/query: every analysis
+// lives in an immutable Snapshot cached per (dataset, measure, color,
+// bins) key, so /measure is a cache lookup — switching back to a
+// recently served measure swaps instantly, concurrent switches never
+// tear a response, and N concurrent requests for an uncached key run
+// one analysis through one pooled scalarfield.Analyzer. The startup
+// dataset registers at boot; any other Table I dataset loads on
+// demand (/measure?dataset=Astro), generated at the startup -scale
+// and -seed.
+//
+// POST /api/v1/query is the batched query API: a list of operations
+// (alpha_cut, peaks, mcc, component_of, spectrum, lci, gci) answered
+// from one consistent snapshot. See the README's "Batch query API"
+// section for request/response shapes.
 package main
 
 import (
@@ -39,9 +52,9 @@ import (
 
 	scalarfield "repro"
 	"repro/internal/baselines"
-	"repro/internal/contour"
 	"repro/internal/datasets"
 	"repro/internal/graph"
+	"repro/internal/query"
 	"repro/internal/render"
 	"repro/internal/terrain"
 )
@@ -51,7 +64,7 @@ func main() {
 		addr    = flag.String("addr", "localhost:8080", "listen address")
 		input   = flag.String("input", "", "edge list file (SNAP format); mutually exclusive with -dataset")
 		dataset = flag.String("dataset", "GrQc", "synthetic Table I dataset name")
-		scale   = flag.Float64("scale", 0.1, "scale factor for -dataset")
+		scale   = flag.Float64("scale", 0.1, "scale factor for -dataset and on-demand datasets")
 		seed    = flag.Int64("seed", 42, "generation seed")
 		measure = flag.String("measure", "kcore",
 			"height measure: "+strings.Join(scalarfield.Measures(), "|"))
@@ -64,36 +77,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
-	t, _, _ := srv.view()
+	snap, err := srv.snapshot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
 	log.Printf("terrain viewer on http://%s/ (%s, measure=%s, %d super nodes)",
-		*addr, srv.name, *measure, t.Tree.Len())
+		*addr, snap.Key.Dataset, snap.Key.Measure, snap.Terrain.Tree.Len())
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
 }
 
-// server hosts the graph plus the current analysis products. The graph
-// is immutable; the terrain, spectrum, and measure can be swapped at
-// runtime through the /measure endpoint, so handlers read them through
-// an RWMutex. One pooled Analyzer, guarded by the same write lock,
-// serves every re-analysis: its sweep state (order buffers, union-find
-// arrays, counting-sort buckets) warms up on the first request and is
-// reused for the rest of the process lifetime.
+// server is a thin multi-dataset frontend over the query engine. Its
+// only mutable state is the viewer's current selection — a snapshot
+// Key — plus the sticky color preference; everything heavy (graphs,
+// terrains, spectra, fields) lives in the engine's immutable,
+// cache-coalesced snapshots. Handlers resolve the current Key to a
+// Snapshot and read only that, so every response is internally
+// consistent even while measures and datasets flip concurrently.
 type server struct {
-	name string
-	g    *graph.Graph
-	bins int
+	bins   int
+	engine *query.Engine
 
-	// analyzerMu serializes use of the pooled analyzer separately from
-	// mu, so a long re-analysis never blocks the read handlers — they
-	// keep serving the previous terrain until the swap.
-	analyzerMu sync.Mutex
-	analyzer   *scalarfield.Analyzer
-
-	mu       sync.RWMutex
-	measure  string
-	colorBy  string
-	terrain  *scalarfield.Terrain
-	spectrum *contour.Spectrum
-	edges    bool // measure is edge-based
+	mu      sync.RWMutex
+	current query.Key
+	// colorPref is the sticky color preference (the -color flag or the
+	// last explicit color= override). The served Key.Color may drop it
+	// for measures on the other basis; the preference survives the
+	// round trip.
+	colorPref string
 }
 
 func newServer(input, dataset string, scale float64, seed int64, measure, colorBy string, bins int) (*server, error) {
@@ -121,46 +132,70 @@ func newServer(input, dataset string, scale float64, seed int64, measure, colorB
 		name = dataset
 	}
 
-	s := &server{name: name, g: g, bins: bins, analyzer: scalarfield.NewAnalyzer()}
+	s := &server{
+		bins: bins,
+		engine: query.NewEngine(query.Options{
+			// Any Table I dataset the viewer asks for later is
+			// generated on demand at the startup scale and seed. A
+			// generation error here can only be an unknown name —
+			// the client's typo, so mark it a ClientError (HTTP 400).
+			Loader: func(name string) (*graph.Graph, error) {
+				g, err := datasets.Generate(name, scale, seed)
+				if err != nil {
+					return nil, &query.ClientError{Err: err}
+				}
+				return g, nil
+			},
+		}),
+	}
+	s.engine.RegisterDataset(name, g)
+	s.current = query.Key{Dataset: name, Bins: bins}
 	// The raw flag value, not colorFor: a cross-basis -color is a
 	// startup error, not something to silently drop.
-	if err := s.setMeasure(measure, colorBy, true); err != nil {
+	if err := s.setSelection(name, measure, colorBy, true); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-// setMeasure re-runs the analysis pipeline for the named measure
-// (optionally colored by a second one) through the pooled analyzer and
-// swaps the served terrain. The analysis runs outside the read lock:
-// readers keep serving the old terrain until the new one is ready.
-// With rememberColor, colorBy becomes the sticky preference in the
-// same critical section as the swap, so the served coloring and the
-// stored preference never diverge under concurrent switches.
-func (s *server) setMeasure(measure, colorBy string, rememberColor bool) error {
-	info, ok := scalarfield.LookupMeasure(measure)
-	if !ok {
+// setSelection points the viewer at (dataset, measure, colorBy): a
+// cache lookup in the engine — the analysis runs only on a miss, and
+// concurrent requests for the same key coalesce into one run. The
+// current selection swaps only after the snapshot exists, so readers
+// keep serving the previous snapshot until the new one is ready. With
+// rememberColor, colorBy becomes the sticky preference in the same
+// critical section as the swap, so the served coloring and the stored
+// preference never diverge under concurrent switches.
+func (s *server) setSelection(dataset, measure, colorBy string, rememberColor bool) error {
+	if _, ok := scalarfield.LookupMeasure(measure); !ok {
 		return fmt.Errorf("unknown measure %q (try one of %s)",
 			measure, strings.Join(scalarfield.Measures(), ", "))
 	}
-	s.analyzerMu.Lock()
-	t, err := s.analyzer.Analyze(s.g, measure, scalarfield.AnalyzeOptions{
-		SimplifyBins: s.bins,
-		ColorBy:      colorBy,
-		Parallel:     true,
-	})
-	s.analyzerMu.Unlock()
-	if err != nil {
+	key := query.Key{Dataset: dataset, Measure: measure, Color: colorBy, Bins: s.bins}
+	if _, err := s.engine.Snapshot(key); err != nil {
 		return err
 	}
-	sp := contour.NewSpectrum(t.Tree)
 	s.mu.Lock()
-	s.measure, s.terrain, s.spectrum, s.edges = measure, t, sp, info.Edge
+	s.current = key
 	if rememberColor {
-		s.colorBy = colorBy
+		s.colorPref = colorBy
 	}
 	s.mu.Unlock()
 	return nil
+}
+
+// currentKey returns the viewer's current selection; it is also the
+// Defaults hook of the batch query handler.
+func (s *server) currentKey() query.Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.current
+}
+
+// snapshot resolves the current selection to its immutable snapshot —
+// a cache hit in the steady state.
+func (s *server) snapshot() (*query.Snapshot, error) {
+	return s.engine.Snapshot(s.currentKey())
 }
 
 // colorFor resolves the preferred color measure (the -color flag, or
@@ -171,7 +206,7 @@ func (s *server) setMeasure(measure, colorBy string, rememberColor bool) error {
 // round-trips restore the original coloring.
 func (s *server) colorFor(measure string) string {
 	s.mu.RLock()
-	colorBy := s.colorBy
+	colorBy := s.colorPref
 	s.mu.RUnlock()
 	if colorBy == "" {
 		return ""
@@ -184,13 +219,6 @@ func (s *server) colorFor(measure string) string {
 	return colorBy
 }
 
-// view returns a consistent snapshot of the served analysis products.
-func (s *server) view() (t *scalarfield.Terrain, sp *contour.Spectrum, edges bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.terrain, s.spectrum, s.edges
-}
-
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -201,17 +229,28 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/select", s.handleSelect)
 	mux.HandleFunc("/spectrum", s.handleSpectrum)
 	mux.HandleFunc("/measure", s.handleMeasure)
+	mux.Handle("/api/v1/query", &query.Handler{Engine: s.engine, Defaults: s.currentKey})
 	return mux
 }
 
-// handleMeasure switches the served measure: /measure?name=ktruss
-// re-runs the analysis on the pooled analyzer and swaps the terrain;
-// with no name it reports the current measure and the registry. The
-// startup -color measure carries over across switches while its basis
-// matches; pass an explicit color= (possibly empty) to override.
+// handleMeasure switches the served measure and/or dataset:
+// /measure?name=ktruss re-points the viewer (a snapshot-cache lookup;
+// the analysis runs only on a miss), /measure?dataset=Astro loads or
+// generates another dataset on demand, and with no parameters it
+// reports the current selection and the registry. The startup -color
+// measure carries over across switches while its basis matches; pass
+// an explicit color= (possibly empty) to override.
 func (s *server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
-	if name != "" {
+	ds := r.URL.Query().Get("dataset")
+	if name != "" || ds != "" {
+		cur := s.currentKey()
+		if name == "" {
+			name = cur.Measure
+		}
+		if ds == "" {
+			ds = cur.Dataset
+		}
 		// An explicit color= goes straight to the pipeline (a bad one
 		// is the client's error to see) and, on success, becomes the
 		// sticky preference; otherwise the stored preference carries
@@ -223,31 +262,52 @@ func (s *server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		} else {
 			colorBy = s.colorFor(name)
 		}
-		if err := s.setMeasure(name, colorBy, explicit); err != nil {
+		if err := s.setSelection(ds, name, colorBy, explicit); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 	}
-	s.mu.RLock()
+	snap, err := s.snapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	resp := struct {
+		Dataset    string   `json:"dataset"`
 		Measure    string   `json:"measure"`
 		Edge       bool     `json:"edge"`
 		SuperNodes int      `json:"superNodes"`
 		Available  []string `json:"available"`
-	}{s.measure, s.edges, s.terrain.Tree.Len(), scalarfield.Measures()}
-	s.mu.RUnlock()
+		Datasets   []string `json:"datasets"`
+	}{snap.Key.Dataset, snap.Key.Measure, snap.Edge, snap.Terrain.Tree.Len(),
+		scalarfield.Measures(), s.engine.Datasets()}
 	writeJSON(w, resp)
 }
 
+// withSnapshot resolves the current snapshot or reports 500; handlers
+// hold the returned snapshot for their whole response, so everything
+// they read is from one analysis.
+func (s *server) withSnapshot(w http.ResponseWriter) (*query.Snapshot, bool) {
+	snap, err := s.snapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return nil, false
+	}
+	return snap, true
+}
+
 func (s *server) handleTerrain(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.withSnapshot(w)
+	if !ok {
+		return
+	}
 	opts := render.Options{
 		Angle:  floatParam(r, "angle", 0.6),
 		Zoom:   floatParam(r, "zoom", 1),
 		Width:  intParam(r, "w", 960),
 		Height: intParam(r, "h", 720),
 	}
-	t, _, _ := s.view()
-	img := t.Render(opts)
+	img := snap.Terrain.Render(opts)
 	w.Header().Set("Content-Type", "image/png")
 	if err := render.EncodePNG(w, img); err != nil {
 		log.Printf("terrain.png: %v", err)
@@ -255,6 +315,10 @@ func (s *server) handleTerrain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleTreemap(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.withSnapshot(w)
+	if !ok {
+		return
+	}
 	size := intParam(r, "size", 480)
 	if size < 64 {
 		size = 64
@@ -262,8 +326,7 @@ func (s *server) handleTreemap(w http.ResponseWriter, r *http.Request) {
 	if size > 1024 {
 		size = 1024
 	}
-	t, _, _ := s.view()
-	img := t.RenderTreemap(size)
+	img := snap.Terrain.RenderTreemap(size)
 	w.Header().Set("Content-Type", "image/png")
 	if err := render.EncodePNG(w, img); err != nil {
 		log.Printf("treemap.png: %v", err)
@@ -273,18 +336,22 @@ func (s *server) handleTreemap(w http.ResponseWriter, r *http.Request) {
 // handleLinked renders the paper's linked 2D display: a spring layout
 // of the component selected by a click at layout coordinates (x,y).
 func (s *server) handleLinked(w http.ResponseWriter, r *http.Request) {
-	t, _, edges := s.view()
-	node, ok := nodeAt(t, r)
+	snap, ok := s.withSnapshot(w)
 	if !ok {
+		return
+	}
+	t := snap.Terrain
+	node, found := nodeAt(t, r)
+	if !found {
 		http.Error(w, "no node at the given point", http.StatusNotFound)
 		return
 	}
 	items := t.Tree.SubtreeItems(node)
-	vertices := s.itemVertices(items, edges)
+	vertices := itemVertices(snap, items)
 	if len(vertices) > 3000 {
 		vertices = vertices[:3000] // keep the interactive path responsive
 	}
-	sub, origIDs := graph.InducedSubgraph(s.g, vertices)
+	sub, origIDs := graph.InducedSubgraph(snap.Graph, vertices)
 	pos := baselines.SpringLayout(sub, baselines.SpringOptions{Seed: 7, Iterations: 150})
 	colors := make([]color.RGBA, sub.NumVertices())
 	scalars := t.Tree.Scalar
@@ -300,7 +367,7 @@ func (s *server) handleLinked(w http.ResponseWriter, r *http.Request) {
 	for v := range colors {
 		c := 0.5
 		if hi > lo {
-			c = (s.itemScalar(t, edges, origIDs[v]) - lo) / (hi - lo)
+			c = (itemScalar(snap, origIDs[v]) - lo) / (hi - lo)
 		}
 		colors[v] = terrain.Colormap(c)
 	}
@@ -315,14 +382,14 @@ func (s *server) handleLinked(w http.ResponseWriter, r *http.Request) {
 
 // itemVertices converts item IDs to vertex IDs: identity for vertex
 // fields, edge endpoints for edge fields.
-func (s *server) itemVertices(items []int32, edges bool) []int32 {
-	if !edges {
+func itemVertices(snap *query.Snapshot, items []int32) []int32 {
+	if !snap.Edge {
 		return items
 	}
 	seen := map[int32]bool{}
 	var verts []int32
 	for _, e := range items {
-		ed := s.g.Edge(e)
+		ed := snap.Graph.Edge(e)
 		for _, v := range []int32{ed.U, ed.V} {
 			if !seen[v] {
 				seen[v] = true
@@ -336,13 +403,13 @@ func (s *server) itemVertices(items []int32, edges bool) []int32 {
 // itemScalar returns the scalar of the super node owning the item; for
 // edge-based fields the item is a vertex of the linked view, so the
 // vertex inherits the max incident edge scalar.
-func (s *server) itemScalar(t *scalarfield.Terrain, edges bool, item int32) float64 {
-	tree := t.Tree
-	if !edges {
+func itemScalar(snap *query.Snapshot, item int32) float64 {
+	tree := snap.Terrain.Tree
+	if !snap.Edge {
 		return tree.Scalar[tree.NodeOf[item]]
 	}
 	best := 0.0
-	for _, e := range s.g.IncidentEdges(item) {
+	for _, e := range snap.Graph.IncidentEdges(item) {
 		if v := tree.Scalar[tree.NodeOf[e]]; v > best {
 			best = v
 		}
@@ -361,13 +428,16 @@ func nodeAt(t *scalarfield.Terrain, r *http.Request) (int32, bool) {
 }
 
 func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
-	t, _, _ := s.view()
-	node, ok := nodeAt(t, r)
+	snap, ok := s.withSnapshot(w)
 	if !ok {
+		return
+	}
+	node, found := nodeAt(snap.Terrain, r)
+	if !found {
 		http.Error(w, "no node at the given point", http.StatusNotFound)
 		return
 	}
-	tree := t.Tree
+	tree := snap.Terrain.Tree
 	items := tree.SubtreeItems(node)
 	resp := struct {
 		Node      int32   `json:"node"`
@@ -382,9 +452,12 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handlePeaks(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.withSnapshot(w)
+	if !ok {
+		return
+	}
 	alpha := floatParam(r, "alpha", 0)
-	t, _, _ := s.view()
-	peaks := t.Peaks(alpha)
+	peaks := snap.Terrain.Peaks(alpha)
 	type peakJSON struct {
 		Node   int32   `json:"node"`
 		Height float64 `json:"height"`
@@ -401,8 +474,11 @@ func (s *server) handlePeaks(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleSpectrum(w http.ResponseWriter, _ *http.Request) {
-	_, sp, _ := s.view()
-	writeJSON(w, sp)
+	snap, ok := s.withSnapshot(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, snap.Spectrum)
 }
 
 var indexTmpl = template.Must(template.New("index").Parse(`<!doctype html>
@@ -465,15 +541,18 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	s.mu.RLock()
+	snap, ok := s.withSnapshot(w)
+	if !ok {
+		return
+	}
 	data := struct {
 		Name         string
 		Nodes, Edges int
 		Super        int
 		Measure      string
 		Measures     []string
-	}{s.name, s.g.NumVertices(), s.g.NumEdges(), s.terrain.Tree.Len(), s.measure, scalarfield.Measures()}
-	s.mu.RUnlock()
+	}{snap.Key.Dataset, snap.Graph.NumVertices(), snap.Graph.NumEdges(),
+		snap.Terrain.Tree.Len(), snap.Key.Measure, scalarfield.Measures()}
 	if err := indexTmpl.Execute(w, data); err != nil {
 		log.Printf("index: %v", err)
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"image/png"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -257,4 +258,184 @@ func TestUnknownMeasureRejected(t *testing.T) {
 	if _, err := newServer("", "GrQc", 0.03, 42, "kcore", "ktruss", 0); err == nil {
 		t.Fatal("vertex height + edge color must be rejected")
 	}
+}
+
+func postQuery(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/api/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// batchResponse mirrors the subset of query.Response these tests read.
+type batchResponse struct {
+	Snapshot struct {
+		Dataset string `json:"dataset"`
+		Measure string `json:"measure"`
+		Edge    bool   `json:"edge"`
+		Seq     uint64 `json:"seq"`
+		Items   int    `json:"items"`
+	} `json:"snapshot"`
+	Results []struct {
+		Op    string `json:"op"`
+		Error string `json:"error"`
+		Count int    `json:"count"`
+		Peaks []struct {
+			Items int `json:"items"`
+		} `json:"peaks"`
+		Spectrum *struct {
+			Levels     []float64 `json:"Levels"`
+			Components []int     `json:"Components"`
+			Items      []int     `json:"Items"`
+		} `json:"spectrum"`
+		GCI *float64 `json:"gci"`
+	} `json:"results"`
+}
+
+// TestBatchQueryEndpoint is the acceptance criterion at the server
+// level: one POST /api/v1/query answers a mixed alpha_cut + peaks +
+// gci batch from one snapshot, with unset key fields defaulting to the
+// viewer's current selection.
+func TestBatchQueryEndpoint(t *testing.T) {
+	ts := testServer(t, "kcore", "")
+	resp, data := postQuery(t, ts.URL, `{"ops": [
+		{"op": "alpha_cut", "alpha": 2},
+		{"op": "peaks", "alpha": 2},
+		{"op": "gci", "measure_j": "degree"}
+	]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, data)
+	}
+	var out batchResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Snapshot.Measure != "kcore" || out.Snapshot.Dataset != "GrQc" {
+		t.Fatalf("defaults not applied: %+v", out.Snapshot)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("%d results for 3 ops", len(out.Results))
+	}
+	for i, r := range out.Results {
+		if r.Error != "" {
+			t.Fatalf("op %d errored: %s", i, r.Error)
+		}
+	}
+	if out.Results[0].Count < 1 || len(out.Results[1].Peaks) < 1 || out.Results[2].GCI == nil {
+		t.Fatalf("implausible batch results: %+v", out.Results)
+	}
+}
+
+// TestDatasetSwitchOnDemand loads a second Table I dataset through the
+// engine's loader, then switches back to the registered one.
+func TestDatasetSwitchOnDemand(t *testing.T) {
+	ts := testServer(t, "kcore", "")
+	var info struct {
+		Dataset  string   `json:"dataset"`
+		Measure  string   `json:"measure"`
+		Datasets []string `json:"datasets"`
+	}
+	resp := get(t, ts.URL+"/measure?dataset=PPI")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dataset switch status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Dataset != "PPI" || info.Measure != "kcore" {
+		t.Fatalf("post-switch state %+v", info)
+	}
+	// The on-demand-loaded dataset is listed alongside the registered one.
+	listed := map[string]bool{}
+	for _, d := range info.Datasets {
+		listed[d] = true
+	}
+	if !listed["PPI"] || !listed["GrQc"] {
+		t.Fatalf("datasets list %v missing PPI or GrQc", info.Datasets)
+	}
+	// The viewer endpoints serve the new dataset's snapshot.
+	if img := get(t, ts.URL+"/treemap.png?size=128"); img.StatusCode != http.StatusOK {
+		t.Fatalf("treemap after dataset switch: %d", img.StatusCode)
+	}
+	// Unknown datasets are a client error and leave the selection intact.
+	if resp := get(t, ts.URL+"/measure?dataset=NotATable1Name"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown dataset status %d, want 400", resp.StatusCode)
+	}
+	resp = get(t, ts.URL+"/measure")
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Dataset != "PPI" {
+		t.Fatalf("selection changed to %q by a rejected switch", info.Dataset)
+	}
+}
+
+// TestBatchQueriesConsistentUnderMeasureSwitches is the concurrency
+// satellite: hammer the batch endpoint while /measure flips between a
+// vertex-based and an edge-based measure, and assert every response is
+// internally consistent — all fields from one snapshot. The invariant:
+// at a cut height below every level, the peak item counts sum to the
+// spectrum's total survivor count and the peak count equals B0 at the
+// lowest level. kcore (items = vertices) and ktruss (items = edges)
+// disagree on both, so a torn response mixing two snapshots fails.
+// Run with -race in CI.
+func TestBatchQueriesConsistentUnderMeasureSwitches(t *testing.T) {
+	ts := testServer(t, "kcore", "")
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 8; i++ {
+			name := []string{"ktruss", "kcore"}[i%2]
+			if resp, err := http.Get(ts.URL + "/measure?name=" + name); err == nil {
+				resp.Body.Close()
+			}
+		}
+	}()
+
+	body := `{"ops": [{"op": "spectrum"}, {"op": "peaks", "alpha": -1e18}]}`
+	for i := 0; i < 24; i++ {
+		resp, data := postQuery(t, ts.URL, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch %d status %d: %s", i, resp.StatusCode, data)
+		}
+		var out batchResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if out.Snapshot.Measure != "kcore" && out.Snapshot.Measure != "ktruss" {
+			t.Fatalf("batch %d: unexpected measure %q", i, out.Snapshot.Measure)
+		}
+		if wantEdge := out.Snapshot.Measure == "ktruss"; out.Snapshot.Edge != wantEdge {
+			t.Fatalf("batch %d: measure %q but edge=%v", i, out.Snapshot.Measure, out.Snapshot.Edge)
+		}
+		spec, peaks := out.Results[0], out.Results[1]
+		if spec.Error != "" || peaks.Error != "" || spec.Spectrum == nil {
+			t.Fatalf("batch %d results: %+v", i, out.Results)
+		}
+		if len(spec.Spectrum.Items) == 0 {
+			t.Fatalf("batch %d: empty spectrum", i)
+		}
+		survivors := spec.Spectrum.Items[0]
+		total := 0
+		for _, p := range peaks.Peaks {
+			total += p.Items
+		}
+		if total != survivors || total != out.Snapshot.Items {
+			t.Fatalf("batch %d torn: peak items sum %d, spectrum survivors %d, snapshot items %d (measure %s)",
+				i, total, survivors, out.Snapshot.Items, out.Snapshot.Measure)
+		}
+		if len(peaks.Peaks) != spec.Spectrum.Components[0] {
+			t.Fatalf("batch %d torn: %d peaks vs B0=%d at the lowest level",
+				i, len(peaks.Peaks), spec.Spectrum.Components[0])
+		}
+	}
+	<-done
 }

@@ -45,6 +45,12 @@ func prop3Adjacency(f *EdgeField, order []int32) sweepAdjacency {
 // prop3AdjacencyInto is prop3Adjacency with caller-supplied rank and
 // minIDEdge scratch (of length NumEdges and NumVertices respectively),
 // so the pooled TreeBuilder can reuse the two arrays across builds.
+//
+// The returned provider aliases every result to one closure-captured
+// 2-element buffer: each call overwrites the slice handed out by the
+// previous call. That is exactly the sweepAdjacency
+// consume-before-next-call contract — callers that need a candidate
+// list to survive the next call must copy it.
 func prop3AdjacencyInto(f *EdgeField, order, rank, minIDEdge []int32) sweepAdjacency {
 	// rank[e] = position of edge e in the sweep order ("index" in the
 	// paper's line 1); only needed to pick each endpoint's minimum.

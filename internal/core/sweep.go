@@ -17,8 +17,18 @@ import (
 // sweepAdjacency yields the candidate neighbors of an item during the
 // descending sweep. The engine skips candidates that have not been
 // processed yet (the pseudocode's "j < i" guard), so providers may
-// over-report; the slice is only read before the next call and may be
-// backed by a reusable scratch buffer.
+// over-report.
+//
+// Consume-before-next-call contract: the returned slice is valid only
+// until the next invocation of the provider — providers are free to
+// back every result with one reusable scratch buffer, and
+// prop3AdjacencyInto does exactly that with a closure-captured
+// 2-element array. The engine therefore must fully consume (or copy)
+// each result before asking for the next item's candidates, and must
+// never retain a returned slice across calls. treeSweep.step upholds
+// this by reading the candidates to completion before runSweep's loop
+// advances; TestSweepEngineDoesNotRetainCandidateSlices pins the
+// contract against regressions.
 type sweepAdjacency func(item int32) []int32
 
 // buildTree runs the shared sweep over items with the given scalar

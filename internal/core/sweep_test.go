@@ -208,3 +208,56 @@ func TestSweepEngineEmptyField(t *testing.T) {
 		t.Fatalf("empty edge tree has %d nodes", et.Len())
 	}
 }
+
+// TestSweepEngineDoesNotRetainCandidateSlices pins the sweepAdjacency
+// consume-before-next-call contract from the engine's side.
+// prop3Adjacency hands out slices aliasing one closure-captured
+// 2-element buffer, so if the sweep ever retained a candidate slice
+// across calls it would silently read the next item's candidates
+// instead. The poisoning wrapper below is the harshest legal provider:
+// before producing each result it overwrites everything it returned
+// previously with garbage. The tree built through it must be
+// bit-identical to one built through a provider that returns fresh
+// copies — any divergence means the engine read a stale slice.
+func TestSweepEngineDoesNotRetainCandidateSlices(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		for _, n := range []int{2, 40, 300} {
+			vf := randomTieField(seed, n, 8, 3)
+			g := vf.G
+			rng := rand.New(rand.NewSource(seed + 500))
+			values := make([]float64, g.NumEdges())
+			for i := range values {
+				values[i] = float64(rng.Intn(4))
+			}
+			f := MustEdgeField(g, values)
+			order := sweepOrder(f.Values)
+
+			// Oracle: the same Proposition-3 candidates, but every result
+			// is an independent copy, immune to scratch reuse.
+			copying := prop3Adjacency(f, order)
+			copyAdj := func(e int32) []int32 {
+				return append([]int32(nil), copying(e)...)
+			}
+			want := buildTree(f.Values, append([]int32(nil), order...), copyAdj)
+
+			// Candidate: scratch-backed provider wrapped to corrupt every
+			// previously returned slice before producing the next one.
+			inner := prop3Adjacency(f, order)
+			var handedOut [][]int32
+			poisoning := func(e int32) []int32 {
+				for _, s := range handedOut {
+					for i := range s {
+						s[i] = -0x7ead
+					}
+				}
+				handedOut = handedOut[:0]
+				out := inner(e)
+				handedOut = append(handedOut, out)
+				return out
+			}
+			got := buildTree(f.Values, append([]int32(nil), order...), poisoning)
+
+			requireSameTree(t, want, got, "poisoned-scratch edge tree")
+		}
+	}
+}

@@ -55,6 +55,14 @@ func LCI(g *graph.Graph, si, sj []float64, opts Options) ([]float64, error) {
 
 // pearsonOver computes the Pearson correlation of si and sj over the
 // given vertex set, returning 0 when undefined.
+//
+// Non-finite inputs (NaN from a 0/0 measure, ±Inf from overflow) make
+// the correlation itself undefined, and the covII == 0 variance guard
+// does not catch them — NaN propagates through the sums and compares
+// false against 0, so a single poisoned vertex would otherwise drive
+// the neighborhood's LCI, and through it the graph-wide GCI, to NaN.
+// Such neighborhoods are treated like the other degenerate cases and
+// score 0, the neutral value that neither inflates nor deflates GCI.
 func pearsonOver(hood []int32, si, sj []float64) float64 {
 	if len(hood) < 2 {
 		return 0
@@ -62,8 +70,12 @@ func pearsonOver(hood []int32, si, sj []float64) float64 {
 	inv := 1 / float64(len(hood))
 	var mi, mj float64
 	for _, u := range hood {
-		mi += si[u]
-		mj += sj[u]
+		a, b := si[u], sj[u]
+		if !isFinite(a) || !isFinite(b) {
+			return 0
+		}
+		mi += a
+		mj += b
 	}
 	mi *= inv
 	mj *= inv
@@ -77,7 +89,16 @@ func pearsonOver(hood []int32, si, sj []float64) float64 {
 	if covII == 0 || covJJ == 0 {
 		return 0
 	}
-	return covIJ / (math.Sqrt(covII) * math.Sqrt(covJJ))
+	r := covIJ / (math.Sqrt(covII) * math.Sqrt(covJJ))
+	if math.IsNaN(r) { // finite-but-huge values can overflow the sums to Inf/Inf
+		return 0
+	}
+	return r
+}
+
+// isFinite reports whether x is neither NaN nor ±Inf.
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
 }
 
 // GCI computes the Global Correlation Index: the mean LCI over all

@@ -305,3 +305,78 @@ func TestPearsonBasics(t *testing.T) {
 		t.Errorf("Pearson of mismatched lengths = %g, want 0", p)
 	}
 }
+
+// TestNaNVertexDoesNotPoisonGCI pins the non-finite-input guard: one
+// NaN vertex used to drive its whole neighborhood's LCI — and through
+// the mean, the graph-wide GCI — to NaN, because the covII == 0 guard
+// never fires on NaN. Poisoned neighborhoods must score the neutral 0
+// and GCI must stay finite, in both the sequential and parallel paths.
+func TestNaNVertexDoesNotPoisonGCI(t *testing.T) {
+	g := lineGraph(8)
+	si := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	sj := []float64{2, 4, 6, 8, 10, 12, 14, 16}
+	sj[3] = math.NaN() // poisons the 1-hop neighborhoods of 2, 3, 4
+
+	for name, compute := range map[string]func() ([]float64, error){
+		"LCI":         func() ([]float64, error) { return LCI(g, si, sj, Options{}) },
+		"ParallelLCI": func() ([]float64, error) { return ParallelLCI(g, si, sj, Options{}) },
+	} {
+		lci, err := compute()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for v, x := range lci {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("%s[%d] = %g, want finite", name, v, x)
+			}
+		}
+		for _, v := range []int{2, 3, 4} {
+			if lci[v] != 0 {
+				t.Errorf("%s[%d] = %g, want 0 for a NaN-touching neighborhood", name, v, lci[v])
+			}
+		}
+		// Vertices whose neighborhood misses the NaN keep their perfect
+		// linear correlation.
+		for _, v := range []int{0, 1, 6, 7} {
+			if math.Abs(lci[v]-1) > 1e-12 {
+				t.Errorf("%s[%d] = %g, want 1 on the clean prefix/suffix", name, v, lci[v])
+			}
+		}
+	}
+
+	for name, compute := range map[string]func() (float64, error){
+		"GCI":         func() (float64, error) { return GCI(g, si, sj, Options{}) },
+		"ParallelGCI": func() (float64, error) { return ParallelGCI(g, si, sj, Options{}) },
+	} {
+		gci, err := compute()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.IsNaN(gci) || math.IsInf(gci, 0) {
+			t.Fatalf("%s = %g with one NaN vertex, want finite", name, gci)
+		}
+	}
+}
+
+// TestInfOverflowDoesNotPoisonLCI covers the second non-finite route:
+// ±Inf inputs, and finite-but-huge values whose squared deviations
+// overflow the covariance sums to Inf/Inf = NaN.
+func TestInfOverflowDoesNotPoisonLCI(t *testing.T) {
+	g := lineGraph(4)
+	si := []float64{1, math.Inf(1), 3, 4}
+	sj := []float64{2, 4, 6, 8}
+	lci, err := LCI(g, si, sj, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, x := range lci {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("LCI[%d] = %g with an Inf vertex, want finite", v, x)
+		}
+	}
+
+	huge := math.MaxFloat64
+	if r := Pearson([]float64{huge, -huge, huge}, []float64{1, 2, 3}); math.IsNaN(r) || math.IsInf(r, 0) {
+		t.Fatalf("Pearson over overflowing values = %g, want finite", r)
+	}
+}

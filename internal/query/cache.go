@@ -1,0 +1,151 @@
+package query
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// lru is a plain intrusive LRU map. Not safe for concurrent use; the
+// owning group's mutex guards it.
+type lru[K comparable, V any] struct {
+	max   int
+	order *list.List // front = most recently used
+	items map[K]*list.Element
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRU[K comparable, V any](max int) *lru[K, V] {
+	if max < 1 {
+		max = 1
+	}
+	return &lru[K, V]{max: max, order: list.New(), items: make(map[K]*list.Element)}
+}
+
+func (c *lru[K, V]) get(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+func (c *lru[K, V]) add(key K, val V) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[K, V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry[K, V]{key: key, val: val})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[K, V]).key)
+	}
+}
+
+func (c *lru[K, V]) len() int { return c.order.Len() }
+
+// group is a cache with singleflight coalescing: Do returns the cached
+// value for key, or joins the in-flight computation for it, or — when
+// neither exists — runs compute itself. N concurrent Do calls for one
+// uncached key run compute exactly once; the other N-1 block until the
+// leader finishes and share its result. Failed computations are not
+// cached, so a transient error does not poison the key: the next Do
+// retries.
+//
+// Evicted values are simply dropped. Values handed out earlier remain
+// valid — everything cached here is immutable — so eviction only costs
+// a recomputation on the next request.
+type group[K comparable, V any] struct {
+	mu     sync.Mutex
+	cache  *lru[K, V]
+	flight map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{} // closed when val/err are final
+	val  V
+	err  error
+}
+
+func newGroup[K comparable, V any](maxEntries int) *group[K, V] {
+	return &group[K, V]{
+		cache:  newLRU[K, V](maxEntries),
+		flight: make(map[K]*flightCall[V]),
+	}
+}
+
+// Do implements cached singleflight as described on group.
+func (g *group[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if v, ok := g.cache.get(key); ok {
+		g.mu.Unlock()
+		return v, nil
+	}
+	if c, ok := g.flight[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	g.flight[key] = c
+	g.mu.Unlock()
+
+	// The flight entry is cleaned up even if compute panics: an HTTP
+	// server recovers handler panics and keeps serving, so a leaked
+	// entry would wedge every waiter and future requester of this key
+	// forever. Waiters of a panicked leader get an error; the panic
+	// itself propagates on the leader's goroutine.
+	completed := false
+	defer func() {
+		g.mu.Lock()
+		delete(g.flight, key)
+		if completed && c.err == nil {
+			g.cache.add(key, c.val)
+		}
+		g.mu.Unlock()
+		if !completed {
+			c.err = fmt.Errorf("query: computation panicked")
+		}
+		close(c.done)
+	}()
+	c.val, c.err = compute()
+	completed = true
+	return c.val, c.err
+}
+
+// evict removes every cached entry whose key satisfies pred. In-flight
+// computations are left alone: they complete and cache their result,
+// which a subsequent evict may then remove.
+func (g *group[K, V]) evict(pred func(K) bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for key, el := range g.cache.items {
+		if pred(key) {
+			g.cache.order.Remove(el)
+			delete(g.cache.items, key)
+		}
+	}
+}
+
+// cached reports whether key currently has a cached value, without
+// promoting it.
+func (g *group[K, V]) cached(key K) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.cache.items[key]
+	return ok
+}
+
+// size reports the number of cached entries.
+func (g *group[K, V]) size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cache.len()
+}

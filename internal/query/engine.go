@@ -1,0 +1,283 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	scalarfield "repro"
+	"repro/internal/contour"
+	"repro/internal/graph"
+)
+
+// Options configures an Engine. The zero value is usable: defaults are
+// filled in by NewEngine.
+type Options struct {
+	// MaxSnapshots bounds the snapshot LRU; 0 means 16. Evicted
+	// snapshots stay valid for readers already holding them — eviction
+	// only forces the next request for that key to re-analyze.
+	MaxSnapshots int
+	// MaxFields bounds the LRU of raw measure fields computed for
+	// correlation operations; 0 means 64.
+	MaxFields int
+	// MaxGraphs bounds the LRU of graphs loaded on demand through
+	// Loader (registered datasets are never evicted); 0 means 8.
+	MaxGraphs int
+	// Loader, when set, loads datasets on first reference that were
+	// not registered up front — e.g. generating a Table I stand-in by
+	// name. Loads coalesce like analyses: concurrent requests for one
+	// unloaded dataset run the loader once.
+	Loader func(name string) (*graph.Graph, error)
+	// OnAnalyze, when set, is invoked once per analysis that actually
+	// runs (cache misses only, after coalescing). It is a test and
+	// metrics hook; it runs on the leader goroutine outside all engine
+	// locks except the analyzer's.
+	OnAnalyze func(Key)
+}
+
+// Engine produces and caches Snapshots. All methods are safe for
+// concurrent use; the exactly-once guarantee for concurrent cache
+// misses is the singleflight group's.
+type Engine struct {
+	loader    func(name string) (*graph.Graph, error)
+	onAnalyze func(Key)
+
+	// analyzerMu serializes the one pooled Analyzer. Coalescing keeps
+	// contention low: per (dataset, measure, color, bins) key at most
+	// one goroutine ever reaches the analyzer, so this lock only
+	// queues analyses for *different* keys.
+	analyzerMu sync.Mutex
+	analyzer   *scalarfield.Analyzer
+
+	regMu      sync.RWMutex
+	registered map[string]*graph.Graph
+	// loaded remembers the names (not graphs) of every dataset the
+	// loader has successfully produced, so Datasets() can list the
+	// currently-served selection even after its graph is LRU-evicted.
+	loaded map[string]bool
+
+	snaps  *group[Key, *Snapshot]
+	fields *group[fieldKey, fieldEntry]
+	graphs *group[string, *graph.Graph]
+
+	seq      atomic.Uint64
+	analyses atomic.Int64
+}
+
+// ClientError marks an error caused by the request — an unknown
+// dataset or measure, a basis mismatch — rather than by the server.
+// The HTTP layer maps ClientErrors to 400 and everything else (loader
+// I/O faults, analysis failures) to 500. Loaders may return one to
+// mark a bad dataset name as the client's mistake.
+type ClientError struct{ Err error }
+
+func (e *ClientError) Error() string { return e.Err.Error() }
+func (e *ClientError) Unwrap() error { return e.Err }
+
+func badRequest(format string, args ...any) error {
+	return &ClientError{Err: fmt.Errorf(format, args...)}
+}
+
+// fieldKey identifies one raw measure field over one dataset.
+type fieldKey struct {
+	dataset, measure string
+}
+
+type fieldEntry struct {
+	values []float64
+	edge   bool
+}
+
+// NewEngine returns an Engine with the given options.
+func NewEngine(opts Options) *Engine {
+	maxSnaps := opts.MaxSnapshots
+	if maxSnaps <= 0 {
+		maxSnaps = 16
+	}
+	maxFields := opts.MaxFields
+	if maxFields <= 0 {
+		maxFields = 64
+	}
+	maxGraphs := opts.MaxGraphs
+	if maxGraphs <= 0 {
+		maxGraphs = 8
+	}
+	return &Engine{
+		loader:     opts.Loader,
+		onAnalyze:  opts.OnAnalyze,
+		analyzer:   scalarfield.NewAnalyzer(),
+		registered: make(map[string]*graph.Graph),
+		loaded:     make(map[string]bool),
+		snaps:      newGroup[Key, *Snapshot](maxSnaps),
+		fields:     newGroup[fieldKey, fieldEntry](maxFields),
+		graphs:     newGroup[string, *graph.Graph](maxGraphs),
+	}
+}
+
+// RegisterDataset makes a graph queryable under the given name,
+// pinned: registered datasets are never evicted. Registering is meant
+// for startup; re-registering a name with a different graph replaces
+// it for future analyses but does not invalidate snapshots already
+// cached — call Invalidate for that.
+func (e *Engine) RegisterDataset(name string, g *graph.Graph) {
+	e.regMu.Lock()
+	e.registered[name] = g
+	e.regMu.Unlock()
+}
+
+// Datasets returns every known dataset name, sorted: the registered
+// ones plus any the loader has successfully produced on demand.
+func (e *Engine) Datasets() []string {
+	e.regMu.RLock()
+	names := make([]string, 0, len(e.registered)+len(e.loaded))
+	for name := range e.registered {
+		names = append(names, name)
+	}
+	for name := range e.loaded {
+		if _, dup := e.registered[name]; !dup {
+			names = append(names, name)
+		}
+	}
+	e.regMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Graph resolves a dataset name: registered graphs first, then the
+// on-demand loader (coalesced and LRU-cached).
+func (e *Engine) Graph(dataset string) (*graph.Graph, error) {
+	e.regMu.RLock()
+	g, ok := e.registered[dataset]
+	e.regMu.RUnlock()
+	if ok {
+		return g, nil
+	}
+	if e.loader == nil {
+		return nil, badRequest("query: unknown dataset %q (registered: %v)", dataset, e.Datasets())
+	}
+	return e.graphs.Do(dataset, func() (*graph.Graph, error) {
+		g, err := e.loader(dataset)
+		if err != nil {
+			return nil, fmt.Errorf("query: loading dataset %q: %w", dataset, err)
+		}
+		e.regMu.Lock()
+		e.loaded[dataset] = true
+		e.regMu.Unlock()
+		return g, nil
+	})
+}
+
+// Snapshot returns the immutable analysis for key, producing it at
+// most once no matter how many goroutines ask concurrently: the first
+// requester runs the pooled analysis, everyone else waits for and
+// shares its result. Errors are returned to every waiter and not
+// cached.
+func (e *Engine) Snapshot(key Key) (*Snapshot, error) {
+	return e.snaps.Do(key, func() (*Snapshot, error) { return e.analyze(key) })
+}
+
+// Cached reports whether key currently has a cached snapshot.
+func (e *Engine) Cached(key Key) bool { return e.snaps.cached(key) }
+
+// AnalysisCount reports how many analyses have actually run — cache
+// misses after coalescing. The concurrency tests assert on it.
+func (e *Engine) AnalysisCount() int64 { return e.analyses.Load() }
+
+// Invalidate drops every cached snapshot and field of the named
+// dataset, and the dataset's on-demand-loaded graph. Readers holding
+// old snapshots are unaffected; the next request re-analyzes. This is
+// the hook a streaming updater (internal/stream) calls after mutating
+// a dataset.
+func (e *Engine) Invalidate(dataset string) {
+	e.snaps.evict(func(k Key) bool { return k.Dataset == dataset })
+	e.fields.evict(func(k fieldKey) bool { return k.dataset == dataset })
+	e.graphs.evict(func(name string) bool { return name == dataset })
+}
+
+// ValidateKey checks the request-shaped parts of a key — measure and
+// color must be registered and share a basis — returning a ClientError
+// on violation. Snapshot runs it before analyzing, so key mistakes
+// surface as 400s while genuine pipeline failures stay 500s.
+func ValidateKey(key Key) error {
+	info, ok := scalarfield.LookupMeasure(key.Measure)
+	if !ok {
+		return badRequest("query: unknown measure %q", key.Measure)
+	}
+	if key.Color != "" {
+		cInfo, ok := scalarfield.LookupMeasure(key.Color)
+		if !ok {
+			return badRequest("query: unknown color measure %q", key.Color)
+		}
+		if cInfo.Edge != info.Edge {
+			return badRequest("query: color measure %q and height measure %q disagree on vertex/edge basis",
+				key.Color, key.Measure)
+		}
+	}
+	return nil
+}
+
+// analyze is the cache-miss path: resolve the graph, run the pooled
+// pipeline, bundle the products into an immutable Snapshot.
+func (e *Engine) analyze(key Key) (*Snapshot, error) {
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	g, err := e.Graph(key.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	// Closure so the analyzer lock releases on panic too: net/http
+	// recovers handler panics, and a stuck analyzerMu would block
+	// every future cache miss forever.
+	res, err := func() (*scalarfield.Analysis, error) {
+		e.analyzerMu.Lock()
+		defer e.analyzerMu.Unlock()
+		return e.analyzer.AnalyzeAll(g, key.Measure, scalarfield.AnalyzeOptions{
+			SimplifyBins: key.Bins,
+			ColorBy:      key.Color,
+			Parallel:     true,
+		})
+	}()
+	if err != nil {
+		return nil, err
+	}
+	e.analyses.Add(1)
+	if e.onAnalyze != nil {
+		e.onAnalyze(key)
+	}
+	return &Snapshot{
+		Key:         key,
+		Seq:         e.seq.Add(1),
+		Graph:       g,
+		Edge:        res.Edge,
+		Values:      res.Values,
+		ColorValues: res.ColorValues,
+		Terrain:     res.Terrain,
+		Spectrum:    contour.NewSpectrum(res.Terrain.Tree),
+	}, nil
+}
+
+// fieldValues resolves the raw field of a registered measure over the
+// snapshot's graph, for the correlation operations. The snapshot's own
+// height and color fields are served from the snapshot itself; other
+// measures are computed once and LRU-cached per (dataset, measure).
+func (e *Engine) fieldValues(snap *Snapshot, measure string) ([]float64, bool, error) {
+	switch {
+	case measure == snap.Key.Measure:
+		return snap.Values, snap.Edge, nil
+	case measure != "" && measure == snap.Key.Color && snap.ColorValues != nil:
+		return snap.ColorValues, snap.Edge, nil
+	}
+	entry, err := e.fields.Do(fieldKey{dataset: snap.Key.Dataset, measure: measure}, func() (fieldEntry, error) {
+		values, edge, err := scalarfield.MeasureValues(snap.Graph, measure, true)
+		if err != nil {
+			return fieldEntry{}, err
+		}
+		return fieldEntry{values: values, edge: edge}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return entry.values, entry.edge, nil
+}

@@ -1,0 +1,116 @@
+package query
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+
+	scalarfield "repro"
+)
+
+// MaxOps bounds the operations accepted in one batch request.
+const MaxOps = 256
+
+// maxRequestBytes bounds the request body.
+const maxRequestBytes = 1 << 20
+
+// Request is the body of POST /api/v1/query: an optional snapshot key
+// override plus the operation batch. Key fields left unset fall back
+// to the handler's defaults (the viewer's current selection in
+// cmd/serve). Color and Bins are pointers so an explicit empty color
+// or zero bins overrides a non-empty default.
+type Request struct {
+	Dataset string  `json:"dataset,omitempty"`
+	Measure string  `json:"measure,omitempty"`
+	Color   *string `json:"color,omitempty"`
+	Bins    *int    `json:"bins,omitempty"`
+	Ops     []Op    `json:"ops"`
+}
+
+// Response carries the identity of the snapshot that answered —
+// clients use Seq to correlate batches — and one result per operation,
+// in request order.
+type Response struct {
+	Snapshot Info       `json:"snapshot"`
+	Results  []OpResult `json:"results"`
+}
+
+// Handler serves the batched query API over an Engine. Safe for
+// concurrent use.
+type Handler struct {
+	Engine *Engine
+	// Defaults supplies the key fields a request leaves unset. Nil
+	// means requests must name at least dataset and measure.
+	Defaults func() Key
+}
+
+// ServeHTTP answers one batch: resolve the snapshot key, get-or-build
+// the snapshot (coalesced with every concurrent request for the same
+// key), and answer all operations from that one snapshot.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Ops) == 0 {
+		http.Error(w, "empty ops batch", http.StatusBadRequest)
+		return
+	}
+	if len(req.Ops) > MaxOps {
+		http.Error(w, fmt.Sprintf("%d ops in one batch (max %d)", len(req.Ops), MaxOps), http.StatusBadRequest)
+		return
+	}
+
+	var key Key
+	if h.Defaults != nil {
+		key = h.Defaults()
+	}
+	if req.Dataset != "" {
+		key.Dataset = req.Dataset
+	}
+	if req.Measure != "" {
+		key.Measure = req.Measure
+	}
+	if req.Color != nil {
+		key.Color = *req.Color
+	} else if key.Color != "" {
+		// The color came from the defaults, not the request. Like the
+		// viewer's sticky color preference, it carries over only while
+		// it shares the requested measure's basis — a request that
+		// just switches kcore→ktruss must not fail on the viewer's
+		// vertex-based coloring. An explicit req.Color still fails
+		// loudly above: that mismatch is the client's own.
+		mInfo, mok := scalarfield.LookupMeasure(key.Measure)
+		cInfo, cok := scalarfield.LookupMeasure(key.Color)
+		if !mok || !cok || mInfo.Edge != cInfo.Edge {
+			key.Color = ""
+		}
+	}
+	if req.Bins != nil {
+		key.Bins = *req.Bins
+	}
+
+	snap, err := h.Engine.Snapshot(key)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var ce *ClientError
+		if errors.As(err, &ce) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	resp := Response{Snapshot: snap.Info(), Results: h.Engine.Resolve(snap, req.Ops)}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("query: encoding response: %v", err)
+	}
+}

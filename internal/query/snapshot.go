@@ -1,0 +1,97 @@
+// Package query is the concurrent read path of the scalar-field
+// pipeline: immutable analysis snapshots, cache-coalesced production,
+// and a batched query API resolved against one consistent snapshot.
+//
+// The paper's interactions — α-cuts, peak selection, MCC lookups,
+// contour spectra, multi-field correlation (Sections II-E, II-F) — all
+// read products of one analysis run: the scalar field, its super scalar
+// tree, the terrain layout, the spectrum. A server answering many
+// concurrent readers must never hand out a torn mix of two analyses,
+// and must not run the same analysis once per waiting reader. This
+// package solves both with one construction:
+//
+//   - Snapshot: an immutable bundle of graph + scalar field(s) + super
+//     tree + terrain + spectrum for one (dataset, measure, color, bins)
+//     key. Nothing in a Snapshot is ever mutated after construction, so
+//     any number of readers share it without locks.
+//   - Engine: an LRU cache of Snapshots with singleflight coalescing —
+//     N concurrent requests for an uncached key trigger exactly one
+//     analysis through one pooled scalarfield.Analyzer, and everyone
+//     waits for that run's result.
+//   - a batched operation API (ops.go, http.go): one request carries a
+//     list of operations, all answered from a single Snapshot, so a
+//     client's α-cut, peak list, and GCI can never disagree about which
+//     analysis they describe.
+//
+// This is the seam later scaling work (sharding, async re-analysis,
+// streaming invalidation via internal/stream) plugs into: everything
+// above it sees only immutable Snapshots.
+package query
+
+import (
+	scalarfield "repro"
+	"repro/internal/contour"
+	"repro/internal/graph"
+)
+
+// Key identifies one analysis: which dataset, which height measure,
+// which (possibly empty) color measure, and how many simplification
+// bins. Two requests with equal Keys are answered by the same
+// Snapshot.
+type Key struct {
+	Dataset string `json:"dataset"`
+	Measure string `json:"measure"`
+	Color   string `json:"color,omitempty"`
+	Bins    int    `json:"bins,omitempty"`
+}
+
+// Snapshot is one immutable analysis: every product a reader needs,
+// produced by a single pipeline run over a single graph. Snapshots are
+// never mutated after construction — handlers may hold one across an
+// entire multi-operation request and answer everything consistently,
+// and may keep it after the Engine has evicted the cache entry.
+type Snapshot struct {
+	// Key is the identity this snapshot was produced for.
+	Key Key
+	// Seq is a process-unique, monotonically increasing analysis
+	// sequence number: two Snapshots are the same analysis iff their
+	// Seqs are equal. Consistency tests key off it.
+	Seq uint64
+	// Graph is the immutable dataset graph.
+	Graph *graph.Graph
+	// Edge reports whether the height measure is edge-based (fields
+	// index edges and the tree is Algorithm 3's) rather than
+	// vertex-based (Algorithm 1).
+	Edge bool
+	// Values is the raw height field: one scalar per vertex or edge.
+	Values []float64
+	// ColorValues is the raw color field when Key.Color is set; nil
+	// otherwise. Same basis and length as Values.
+	ColorValues []float64
+	// Terrain is the laid-out, colored terrain over the super scalar
+	// tree (possibly simplified by Key.Bins).
+	Terrain *scalarfield.Terrain
+	// Spectrum is the contour spectrum B0(α) of the super tree.
+	Spectrum *contour.Spectrum
+}
+
+// Info is the wire-format identity block of a Snapshot, echoed on
+// every batch response so clients can tell which analysis answered.
+type Info struct {
+	Key
+	Edge       bool   `json:"edge"`
+	Seq        uint64 `json:"seq"`
+	SuperNodes int    `json:"superNodes"`
+	Items      int    `json:"items"`
+}
+
+// Info returns the snapshot's wire identity.
+func (s *Snapshot) Info() Info {
+	return Info{
+		Key:        s.Key,
+		Edge:       s.Edge,
+		Seq:        s.Seq,
+		SuperNodes: s.Terrain.Tree.Len(),
+		Items:      s.Terrain.Tree.NumItems(),
+	}
+}

@@ -33,12 +33,28 @@ type Monitor struct {
 	scalar []float64
 	uf     *unionfind.DSU
 	active []bool
-	// adj holds, for each currently-inactive vertex, the neighbors
+	// pending holds, for each currently-inactive vertex, the neighbors
 	// accumulated so far; active vertices resolve edges eagerly and
 	// keep no list.
 	pending [][]int32
-	comps   int // number of live components
-	merges  int // total merge events observed
+	// parked is the set of currently-parked edges in canonical
+	// (min,max) order. It bounds pending: a hostile or repetitive
+	// update stream re-adding the same inactive edge, or RaiseScalar
+	// replaying edges between still-inactive endpoints, previously
+	// appended a fresh pending entry per call with no limit. With the
+	// set, each distinct inactive edge is parked exactly once, so
+	// memory is O(distinct parked edges) regardless of duplicates.
+	parked map[uint64]struct{}
+	comps  int // number of live components
+	merges int // total merge events observed
+}
+
+// parkKey is the canonical set key of the undirected edge (u,v).
+func parkKey(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
 }
 
 // NewMonitor creates a Monitor with n initial vertices, their scalar
@@ -51,6 +67,7 @@ func NewMonitor(alpha float64, values []float64) *Monitor {
 		uf:      unionfind.New(len(values)),
 		active:  make([]bool, len(values)),
 		pending: make([][]int32, len(values)),
+		parked:  make(map[uint64]struct{}),
 	}
 	for v, s := range values {
 		if s >= alpha {
@@ -101,10 +118,18 @@ func (m *Monitor) AddEdge(u, v int32) (merged bool, err error) {
 	if m.active[u] && m.active[v] {
 		return m.union(u, v), nil
 	}
-	// Park the edge on each inactive endpoint; when that endpoint
+	// Park the edge on one inactive endpoint; when that endpoint
 	// activates, the edge is replayed. Parking on both sides would
 	// replay twice, which is harmless (union is idempotent), but we
 	// avoid the duplicate work by parking on one inactive side only.
+	// The parked set deduplicates: re-adding an edge that is already
+	// parked is a no-op, so repeated AddEdge of the same inactive edge
+	// does not grow pending.
+	key := parkKey(u, v)
+	if _, dup := m.parked[key]; dup {
+		return false, nil
+	}
+	m.parked[key] = struct{}{}
 	if !m.active[u] {
 		m.pending[u] = append(m.pending[u], v)
 	} else {
@@ -132,9 +157,13 @@ func (m *Monitor) RaiseScalar(v int32, value float64) error {
 	for _, u := range m.pending[v] {
 		if m.active[u] {
 			m.union(v, u)
+			delete(m.parked, parkKey(v, u))
 		} else {
 			// Still inactive on the far side: repark there so the edge
-			// replays when u activates.
+			// replays when u activates. The edge stays in the parked
+			// set, so a concurrent duplicate AddEdge still no-ops, and
+			// it moves lists rather than multiplying — each parked edge
+			// lives on exactly one pending list at a time.
 			m.pending[u] = append(m.pending[u], v)
 		}
 	}

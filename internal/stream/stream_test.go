@@ -269,3 +269,87 @@ func TestMonitorMergesMonotone(t *testing.T) {
 			m.Merges(), actives, m.Components())
 	}
 }
+
+// pendingLen sums the parked-edge list lengths, the quantity a hostile
+// duplicate stream used to grow without bound.
+func pendingLen(m *Monitor) int {
+	total := 0
+	for _, l := range m.pending {
+		total += len(l)
+	}
+	return total
+}
+
+// TestDuplicateAddEdgeDoesNotGrowPending pins the dedup fix: before
+// the parked set, every AddEdge of the same inactive edge appended a
+// fresh pending entry, so a repetitive update stream grew memory per
+// call. Now re-parking an already-parked edge is a no-op.
+func TestDuplicateAddEdgeDoesNotGrowPending(t *testing.T) {
+	m := NewMonitor(5, []float64{1, 1, 9}) // 0 and 1 inactive, 2 active
+	for i := 0; i < 1000; i++ {
+		if merged, err := m.AddEdge(0, 1); err != nil || merged {
+			t.Fatalf("AddEdge(0,1) #%d = (%v, %v)", i, merged, err)
+		}
+		if merged, err := m.AddEdge(1, 0); err != nil || merged {
+			t.Fatalf("AddEdge(1,0) #%d = (%v, %v)", i, merged, err)
+		}
+		if merged, err := m.AddEdge(0, 2); err != nil || merged {
+			t.Fatalf("AddEdge(0,2) #%d = (%v, %v)", i, merged, err)
+		}
+	}
+	if got := pendingLen(m); got != 2 {
+		t.Fatalf("pending holds %d entries after 3000 duplicate AddEdge calls, want 2 (one per distinct edge)", got)
+	}
+	if got := len(m.parked); got != 2 {
+		t.Fatalf("parked set holds %d keys, want 2", got)
+	}
+
+	// The deduplicated edges still replay correctly on activation.
+	if err := m.RaiseScalar(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	if !m.SameComponent(0, 2) {
+		t.Fatal("edge (0,2) lost by deduplication: 0 and 2 should merge when 0 activates")
+	}
+	if err := m.RaiseScalar(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !m.SameComponent(0, 1) {
+		t.Fatal("edge (0,1) lost by deduplication")
+	}
+	if got := len(m.parked); got != 0 {
+		t.Fatalf("parked set holds %d keys after every endpoint activated, want 0", got)
+	}
+}
+
+// TestReparkDoesNotDuplicate drives the RaiseScalar repark path: an
+// edge between two inactive vertices bounces to the far side when one
+// endpoint activates, and duplicate AddEdge calls at any point in that
+// lifecycle must not multiply pending entries.
+func TestReparkDoesNotDuplicate(t *testing.T) {
+	m := NewMonitor(5, []float64{1, 1})
+	for i := 0; i < 10; i++ {
+		m.AddEdge(0, 1)
+	}
+	// Activate 0: edge (0,1) reparks onto 1's list exactly once.
+	if err := m.RaiseScalar(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.pending[1]); got != 1 {
+		t.Fatalf("pending[1] has %d entries after repark, want 1", got)
+	}
+	// Duplicates after the repark still no-op.
+	for i := 0; i < 10; i++ {
+		m.AddEdge(0, 1)
+		m.AddEdge(1, 0)
+	}
+	if got := pendingLen(m); got != 1 {
+		t.Fatalf("pending holds %d entries, want 1", got)
+	}
+	if err := m.RaiseScalar(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !m.SameComponent(0, 1) || m.Components() != 2-1 {
+		t.Fatalf("repark lost the edge: same=%v comps=%d", m.SameComponent(0, 1), m.Components())
+	}
+}
