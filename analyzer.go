@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/measures"
 )
 
 // Analyzer runs the Analyze pipeline with pooled sweep state. The zero
@@ -68,12 +69,34 @@ func (a *Analyzer) Analyze(g *Graph, measure string, opts AnalyzeOptions) (*Terr
 // owned by the result — nothing aliases the analyzer's pooled state —
 // so an immutable snapshot can hold them indefinitely.
 func (a *Analyzer) AnalyzeAll(g *Graph, measure string, opts AnalyzeOptions) (*Analysis, error) {
-	values, edge, err := MeasureValues(g, measure, opts.Parallel)
-	if err != nil {
-		return nil, err
+	// When the height and color measures are both distance-based
+	// (closeness, harmonic), one shared MS-BFS traversal produces both
+	// fields at once — the batched engine folds every batch of BFS
+	// levels into each requested field, halving the dominant cost of
+	// the analysis. The fields are bit-identical to the ones the
+	// registry computes separately, so snapshots keyed on either path
+	// agree.
+	var colorValues []float64
+	var values []float64
+	var edge bool
+	if opts.ColorBy != "" && opts.ColorBy != measure &&
+		measures.DistanceBased(measure) && measures.DistanceBased(opts.ColorBy) {
+		if fields, ok := measures.SharedDistanceFields(g, []string{measure, opts.ColorBy}, opts.Parallel); ok {
+			values, colorValues, edge = fields[measure], fields[opts.ColorBy], false
+		}
+	}
+	if values == nil {
+		// Not a shareable pairing (or the shared pass declined): the
+		// usual one-measure-at-a-time registry path.
+		var err error
+		values, edge, err = MeasureValues(g, measure, opts.Parallel)
+		if err != nil {
+			return nil, err
+		}
 	}
 	topts := TerrainOptions{SimplifyBins: opts.SimplifyBins, Layout: opts.Layout}
 	var t *Terrain
+	var err error
 	if edge {
 		t, err = a.edgeTerrain(g, values, topts)
 	} else {
@@ -84,13 +107,23 @@ func (a *Analyzer) AnalyzeAll(g *Graph, measure string, opts AnalyzeOptions) (*A
 	}
 	res := &Analysis{Terrain: t, Values: values, Edge: edge}
 	if opts.ColorBy != "" {
-		cv, cEdge, err := MeasureValues(g, opts.ColorBy, opts.Parallel)
-		if err != nil {
-			return nil, err
+		cv := colorValues
+		if cv == nil && opts.ColorBy == measure {
+			// Coloring by the height measure itself: the field is
+			// already computed. Snapshots treat both slices as
+			// immutable, so sharing the storage is safe.
+			cv = values
 		}
-		if cEdge != edge {
-			return nil, fmt.Errorf("scalarfield: color measure %q and height measure %q disagree on vertex/edge basis",
-				opts.ColorBy, measure)
+		if cv == nil {
+			var cEdge bool
+			cv, cEdge, err = MeasureValues(g, opts.ColorBy, opts.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			if cEdge != edge {
+				return nil, fmt.Errorf("scalarfield: color measure %q and height measure %q disagree on vertex/edge basis",
+					opts.ColorBy, measure)
+			}
 		}
 		if err := t.ColorByValues(cv); err != nil {
 			return nil, err

@@ -53,6 +53,45 @@ func TestAnalyzerResultsSurviveReuse(t *testing.T) {
 	}
 }
 
+// TestAnalyzeAllSharedDistanceTraversal pins the multi-field fast
+// path: a closeness-height, harmonic-color analysis computes both
+// fields from one MS-BFS traversal, and its fields (and the fields of
+// the swapped pairing) are bit-identical to the separately computed
+// registry measures — so snapshot consumers cannot tell which path
+// produced them.
+func TestAnalyzeAllSharedDistanceTraversal(t *testing.T) {
+	g := demoGraph()
+	a := NewAnalyzer()
+	for _, pair := range [][2]string{{"closeness", "harmonic"}, {"harmonic", "closeness"}} {
+		res, err := a.AnalyzeAll(g, pair[0], AnalyzeOptions{ColorBy: pair[1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantHeight, _, err := MeasureValues(g, pair[0], false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColor, _, err := MeasureValues(g, pair[1], false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Values, wantHeight) {
+			t.Fatalf("%s/%s: shared-pass height field diverges from the registry measure", pair[0], pair[1])
+		}
+		if !reflect.DeepEqual(res.ColorValues, wantColor) {
+			t.Fatalf("%s/%s: shared-pass color field diverges from the registry measure", pair[0], pair[1])
+		}
+	}
+	// The fast path must not change the non-distance pairings either.
+	res, err := a.AnalyzeAll(g, "kcore", AnalyzeOptions{ColorBy: "closeness"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColorValues == nil || res.Values == nil {
+		t.Fatal("mixed pairing lost a field")
+	}
+}
+
 // mallocsOf counts heap allocations performed by fn on this goroutine.
 func mallocsOf(fn func()) uint64 {
 	runtime.GC()

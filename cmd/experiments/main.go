@@ -49,7 +49,7 @@ func registerOptIn(name, desc string, run func(cfg config) error) {
 func main() {
 	var (
 		expName = flag.String("exp", "all", "experiment to run (or 'all', 'list')")
-		scale   = flag.Float64("scale", 0.05, "dataset scale factor in (0,1]; 1 = published sizes")
+		scale   = flag.Float64("scale", 0.05, "dataset scale factor; 1 = published sizes, >1 grows beyond them")
 		out     = flag.String("out", "out", "output directory for rendered figures")
 		seed    = flag.Int64("seed", 42, "random seed for synthetic data")
 	)

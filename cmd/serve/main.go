@@ -100,11 +100,22 @@ type server struct {
 
 	mu      sync.RWMutex
 	current query.Key
+	// want is the latest requested selection. It runs ahead of current
+	// while a cache-miss analysis is still in flight in the background:
+	// the viewer keeps serving current (the stale snapshot) and swaps to
+	// want when its analysis lands — unless a newer request superseded
+	// it first. want == current means the selection is settled.
+	want query.Key
 	// colorPref is the sticky color preference (the -color flag or the
 	// last explicit color= override). The served Key.Color may drop it
 	// for measures on the other basis; the preference survives the
 	// round trip.
 	colorPref string
+	// bgErr records the most recent background-analysis failure, so a
+	// polling client can tell "the switch failed, pending cleared back
+	// to the old selection" from "the switch landed". A new switch
+	// request or a successful swap clears it.
+	bgErr string
 }
 
 func newServer(input, dataset string, scale float64, seed int64, measure, colorBy string, bins int) (*server, error) {
@@ -150,46 +161,99 @@ func newServer(input, dataset string, scale float64, seed int64, measure, colorB
 	}
 	s.engine.RegisterDataset(name, g)
 	s.current = query.Key{Dataset: name, Bins: bins}
+	s.want = s.current
 	// The raw flag value, not colorFor: a cross-basis -color is a
-	// startup error, not something to silently drop.
-	if err := s.setSelection(name, measure, colorBy, true); err != nil {
+	// startup error, not something to silently drop. Startup blocks on
+	// the first analysis — there is no previous snapshot to serve yet.
+	if _, err := s.setSelection(name, measure, colorBy, true, true); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-// setSelection points the viewer at (dataset, measure, colorBy): a
-// cache lookup in the engine — the analysis runs only on a miss, and
-// concurrent requests for the same key coalesce into one run. The
-// current selection swaps only after the snapshot exists, so readers
-// keep serving the previous snapshot until the new one is ready. With
-// rememberColor, colorBy becomes the sticky preference in the same
-// critical section as the swap, so the served coloring and the stored
-// preference never diverge under concurrent switches.
-func (s *server) setSelection(dataset, measure, colorBy string, rememberColor bool) error {
+// setSelection points the viewer at (dataset, measure, colorBy).
+// Validation (measure names, color basis, dataset resolution) is
+// synchronous, so client mistakes surface on this request. A key with
+// a cached snapshot swaps immediately. On a cache miss — unless block
+// forces the old synchronous behavior — the viewer keeps serving the
+// current stale snapshot and the analysis runs in the background: the
+// engine's singleflight makes concurrent requests for one key run it
+// exactly once, and the selection swaps when the analysis lands,
+// unless a newer request superseded it first. Returns pending=true
+// when the swap was deferred. With rememberColor, colorBy becomes the
+// sticky preference as soon as the request validates.
+func (s *server) setSelection(dataset, measure, colorBy string, rememberColor, block bool) (pending bool, err error) {
 	if _, ok := scalarfield.LookupMeasure(measure); !ok {
-		return fmt.Errorf("unknown measure %q (try one of %s)",
+		return false, fmt.Errorf("unknown measure %q (try one of %s)",
 			measure, strings.Join(scalarfield.Measures(), ", "))
 	}
 	key := query.Key{Dataset: dataset, Measure: measure, Color: colorBy, Bins: s.bins}
-	if _, err := s.engine.Snapshot(key); err != nil {
-		return err
+	if err := query.ValidateKey(key); err != nil {
+		return false, err
+	}
+	// Resolve the dataset up front: an unknown name stays a synchronous
+	// client error, and generation is cheap next to analysis.
+	if _, err := s.engine.Graph(dataset); err != nil {
+		return false, err
+	}
+	if block || s.engine.Cached(key) {
+		if _, err := s.engine.Snapshot(key); err != nil {
+			return false, err
+		}
+		s.mu.Lock()
+		s.current, s.want = key, key
+		s.bgErr = ""
+		if rememberColor {
+			s.colorPref = colorBy
+		}
+		s.mu.Unlock()
+		return false, nil
 	}
 	s.mu.Lock()
-	s.current = key
+	s.want = key
+	s.bgErr = ""
 	if rememberColor {
 		s.colorPref = colorBy
 	}
 	s.mu.Unlock()
-	return nil
+	go func() {
+		_, err := s.engine.Snapshot(key)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.want != key {
+			return // superseded by a newer selection
+		}
+		if err != nil {
+			// The background analysis failed: stop advertising it as
+			// pending, keep serving the last good snapshot, and record
+			// the failure so polling clients see why the swap never
+			// landed.
+			log.Printf("background analysis for %+v failed: %v", key, err)
+			s.want = s.current
+			s.bgErr = fmt.Sprintf("analysis of (%s, %s) failed: %v", key.Dataset, key.Measure, err)
+			return
+		}
+		s.current = key
+	}()
+	return true, nil
 }
 
-// currentKey returns the viewer's current selection; it is also the
+// currentKey returns the viewer's served selection; it is also the
 // Defaults hook of the batch query handler.
 func (s *server) currentKey() query.Key {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.current
+}
+
+// wantKey returns the latest requested selection — ahead of currentKey
+// while a background analysis is in flight. Switch requests default
+// their missing halves from it, so a partial switch composes with an
+// acknowledged in-flight one instead of silently reverting it.
+func (s *server) wantKey() query.Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.want
 }
 
 // snapshot resolves the current selection to its immutable snapshot —
@@ -234,27 +298,35 @@ func (s *server) routes() *http.ServeMux {
 }
 
 // handleMeasure switches the served measure and/or dataset:
-// /measure?name=ktruss re-points the viewer (a snapshot-cache lookup;
-// the analysis runs only on a miss), /measure?dataset=Astro loads or
-// generates another dataset on demand, and with no parameters it
-// reports the current selection and the registry. The startup -color
-// measure carries over across switches while its basis matches; pass
-// an explicit color= (possibly empty) to override.
+// /measure?name=ktruss re-points the viewer, /measure?dataset=Astro
+// loads or generates another dataset on demand, and with no parameters
+// it reports the current selection and the registry. A switch to a
+// cached key swaps instantly; a cache miss answers immediately from
+// the current stale snapshot with pending=true and requestedMeasure/
+// requestedDataset echoing the in-flight selection — the analysis runs
+// in the background (exactly once, via the engine's singleflight) and
+// the viewer swaps when it lands. Clients poll /measure until pending
+// clears. The startup -color measure carries over across switches
+// while its basis matches; pass an explicit color= (possibly empty) to
+// override.
 func (s *server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	ds := r.URL.Query().Get("dataset")
 	if name != "" || ds != "" {
-		cur := s.currentKey()
+		// Defaults come from the latest requested selection, not the
+		// (possibly stale) served one: /measure?dataset=X issued while
+		// a measure switch is still pending must keep that measure.
+		want := s.wantKey()
 		if name == "" {
-			name = cur.Measure
+			name = want.Measure
 		}
 		if ds == "" {
-			ds = cur.Dataset
+			ds = want.Dataset
 		}
 		// An explicit color= goes straight to the pipeline (a bad one
-		// is the client's error to see) and, on success, becomes the
-		// sticky preference; otherwise the stored preference carries
-		// over where its basis fits.
+		// is the client's error to see) and becomes the sticky
+		// preference; otherwise the stored preference carries over
+		// where its basis fits.
 		explicit := r.URL.Query().Has("color")
 		var colorBy string
 		if explicit {
@@ -262,25 +334,50 @@ func (s *server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		} else {
 			colorBy = s.colorFor(name)
 		}
-		if err := s.setSelection(ds, name, colorBy, explicit); err != nil {
+		if _, err := s.setSelection(ds, name, colorBy, explicit, false); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 	}
-	snap, err := s.snapshot()
+	// Read the selection state atomically BEFORE resolving the
+	// snapshot: resolving first would let the background swap land in
+	// between, producing a response that serves the old snapshot yet
+	// claims pending=false — which would end client polling on a stale
+	// state. Reading (current, want) together and then resolving
+	// current keeps the served measure and the pending flag from one
+	// consistent selection; a later poll observes the swap.
+	s.mu.RLock()
+	cur, want, bgErr := s.current, s.want, s.bgErr
+	s.mu.RUnlock()
+	pending := cur != want
+	snap, err := s.engine.Snapshot(cur)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	resp := struct {
-		Dataset    string   `json:"dataset"`
-		Measure    string   `json:"measure"`
-		Edge       bool     `json:"edge"`
-		SuperNodes int      `json:"superNodes"`
-		Available  []string `json:"available"`
-		Datasets   []string `json:"datasets"`
-	}{snap.Key.Dataset, snap.Key.Measure, snap.Edge, snap.Terrain.Tree.Len(),
-		scalarfield.Measures(), s.engine.Datasets()}
+		Dataset          string   `json:"dataset"`
+		Measure          string   `json:"measure"`
+		Edge             bool     `json:"edge"`
+		SuperNodes       int      `json:"superNodes"`
+		Available        []string `json:"available"`
+		Datasets         []string `json:"datasets"`
+		Pending          bool     `json:"pending"`
+		RequestedDataset string   `json:"requestedDataset,omitempty"`
+		RequestedMeasure string   `json:"requestedMeasure,omitempty"`
+		// Error reports the most recent background-analysis failure:
+		// pending=false with a non-empty error means the last switch
+		// did not land and the old selection is still being served.
+		Error string `json:"error,omitempty"`
+	}{
+		Dataset: snap.Key.Dataset, Measure: snap.Key.Measure, Edge: snap.Edge,
+		SuperNodes: snap.Terrain.Tree.Len(),
+		Available:  scalarfield.Measures(), Datasets: s.engine.Datasets(),
+		Pending: pending, Error: bgErr,
+	}
+	if pending {
+		resp.RequestedDataset, resp.RequestedMeasure = want.Dataset, want.Measure
+	}
 	writeJSON(w, resp)
 }
 
@@ -516,11 +613,26 @@ document.getElementById('measure').onchange = async ev => {
   const resp = await fetch('/measure?name=' + ev.target.value);
   const body = await resp.text();
   document.getElementById('info').textContent = body;
-  if (resp.ok) {
-    try { document.getElementById('super').textContent = JSON.parse(body).superNodes; } catch {}
-    refresh();
-    document.getElementById('treemap').src = '/treemap.png?t=' + Date.now();
+  if (!resp.ok) return;
+  let data;
+  try { data = JSON.parse(body); } catch { return; }
+  // A cache miss answers from the stale snapshot with pending=true and
+  // re-analyzes in the background; poll until the new analysis lands
+  // (up to 10 minutes for the big stand-ins). If the deadline passes
+  // while still pending, keep showing the pending state rather than
+  // rendering the stale snapshot as if it were the requested one.
+  const deadline = Date.now() + 600000;
+  while (data.pending && Date.now() < deadline) {
+    await new Promise(r => setTimeout(r, 500));
+    // A transient poll failure must not abandon the switch; keep
+    // polling until the deadline.
+    try { data = await (await fetch('/measure')).json(); } catch {}
   }
+  document.getElementById('info').textContent = JSON.stringify(data, null, 1);
+  if (data.pending) return;
+  document.getElementById('super').textContent = data.superNodes;
+  refresh();
+  document.getElementById('treemap').src = '/treemap.png?t=' + Date.now();
 };
 document.getElementById('treemap').onclick = async ev => {
   const r = ev.target.getBoundingClientRect();

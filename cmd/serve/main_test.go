@@ -7,7 +7,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func testServer(t *testing.T, measure, colorBy string) *httptest.Server {
@@ -29,6 +31,50 @@ func get(t *testing.T, url string) *http.Response {
 	}
 	t.Cleanup(func() { resp.Body.Close() })
 	return resp
+}
+
+// measureInfo mirrors the /measure response shape.
+type measureInfo struct {
+	Dataset          string   `json:"dataset"`
+	Measure          string   `json:"measure"`
+	Edge             bool     `json:"edge"`
+	SuperNodes       int      `json:"superNodes"`
+	Available        []string `json:"available"`
+	Datasets         []string `json:"datasets"`
+	Pending          bool     `json:"pending"`
+	RequestedDataset string   `json:"requestedDataset"`
+	RequestedMeasure string   `json:"requestedMeasure"`
+}
+
+func getMeasureInfo(t *testing.T, url string) measureInfo {
+	t.Helper()
+	resp := get(t, url)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s status %d", url, resp.StatusCode)
+	}
+	var info measureInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// waitSettled polls /measure until no background analysis is pending —
+// a switch on a cache miss answers from the stale snapshot immediately
+// and swaps when the background run lands.
+func waitSettled(t *testing.T, ts *httptest.Server) measureInfo {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		info := getMeasureInfo(t, ts.URL+"/measure")
+		if !info.Pending {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("selection still pending after 30s: %+v", info)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 func TestIndexServesHTML(t *testing.T) {
@@ -175,17 +221,20 @@ func TestMeasureSwitchEndpoint(t *testing.T) {
 		t.Fatalf("initial measure state %+v", info)
 	}
 
-	// Switch to an edge measure; the pooled analyzer re-runs the whole
-	// pipeline and the served terrain swaps basis.
-	resp = get(t, ts.URL+"/measure?name=ktruss")
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("measure switch status %d", resp.StatusCode)
+	// Switch to an edge measure. The cache miss answers immediately —
+	// from the stale snapshot with pending=true, or already swapped if
+	// the background run won the race — and the swap lands async.
+	sw := getMeasureInfo(t, ts.URL+"/measure?name=ktruss")
+	if sw.Pending {
+		if sw.RequestedMeasure != "ktruss" {
+			t.Fatalf("pending switch echoes %q, want ktruss", sw.RequestedMeasure)
+		}
+	} else if sw.Measure != "ktruss" {
+		t.Fatalf("settled switch state %+v", sw)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		t.Fatal(err)
-	}
-	if info.Measure != "ktruss" || !info.Edge || info.SuperNodes < 1 {
-		t.Fatalf("post-switch measure state %+v", info)
+	settled := waitSettled(t, ts)
+	if settled.Measure != "ktruss" || !settled.Edge || settled.SuperNodes < 1 {
+		t.Fatalf("post-switch measure state %+v", settled)
 	}
 	if img := get(t, ts.URL+"/treemap.png?size=128"); img.StatusCode != http.StatusOK {
 		t.Fatalf("treemap after switch status %d", img.StatusCode)
@@ -195,11 +244,7 @@ func TestMeasureSwitchEndpoint(t *testing.T) {
 	if resp := get(t, ts.URL+"/measure?name=nonsense"); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad measure switch status %d, want 400", resp.StatusCode)
 	}
-	resp = get(t, ts.URL+"/measure")
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		t.Fatal(err)
-	}
-	if info.Measure != "ktruss" {
+	if info := waitSettled(t, ts); info.Measure != "ktruss" {
 		t.Fatalf("measure changed to %q by a rejected switch", info.Measure)
 	}
 }
@@ -249,6 +294,84 @@ func TestMeasureSwitchUnderConcurrentReads(t *testing.T) {
 		}
 	}
 	<-done
+}
+
+// TestAsyncMeasureSwitch is the async re-analysis satellite: a switch
+// to an uncached key answers immediately — from the stale snapshot
+// with pending=true and the requested selection echoed — and the
+// background analysis (exactly one, via the engine's singleflight, no
+// matter how many concurrent switches ask) swaps the selection when it
+// lands.
+func TestAsyncMeasureSwitch(t *testing.T) {
+	srv, err := newServer("", "GrQc", 0.03, 42, "kcore", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	startup := srv.engine.AnalysisCount()
+
+	var wg sync.WaitGroup
+	responses := make([]measureInfo, 8)
+	errs := make([]error, 8)
+	for i := range responses {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/measure?name=harmonic")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			errs[i] = json.NewDecoder(resp.Body).Decode(&responses[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	// Every response is coherent: either still serving the old snapshot
+	// with the new selection pending, or already swapped.
+	for i, info := range responses {
+		switch {
+		case info.Pending:
+			if info.Measure != "kcore" || info.RequestedMeasure != "harmonic" {
+				t.Fatalf("response %d pending but serves %q, requests %q", i, info.Measure, info.RequestedMeasure)
+			}
+		case info.Measure != "harmonic" && info.Measure != "kcore":
+			t.Fatalf("response %d serves %q", i, info.Measure)
+		}
+	}
+	if got := waitSettled(t, ts); got.Measure != "harmonic" {
+		t.Fatalf("settled on %q, want harmonic", got.Measure)
+	}
+	// The concurrent misses coalesced into one background run.
+	if ran := srv.engine.AnalysisCount() - startup; ran != 1 {
+		t.Fatalf("%d analyses for 8 concurrent switches, want 1", ran)
+	}
+}
+
+// TestPartialSwitchComposesWithPending pins the default-from-want
+// rule: a dataset-only switch issued while a measure switch is still
+// pending must keep that measure — defaults come from the latest
+// requested selection, not the stale served one, so the acknowledged
+// in-flight half is never silently reverted.
+func TestPartialSwitchComposesWithPending(t *testing.T) {
+	ts := testServer(t, "kcore", "")
+	if resp := get(t, ts.URL+"/measure?name=harmonic"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("measure switch status %d", resp.StatusCode)
+	}
+	// Regardless of whether the harmonic analysis has landed yet, a
+	// dataset-only switch composes with it.
+	if resp := get(t, ts.URL+"/measure?dataset=PPI"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("dataset switch status %d", resp.StatusCode)
+	}
+	if info := waitSettled(t, ts); info.Dataset != "PPI" || info.Measure != "harmonic" {
+		t.Fatalf("settled on (%s, %s), want (PPI, harmonic)", info.Dataset, info.Measure)
+	}
 }
 
 func TestUnknownMeasureRejected(t *testing.T) {
@@ -337,18 +460,11 @@ func TestBatchQueryEndpoint(t *testing.T) {
 // engine's loader, then switches back to the registered one.
 func TestDatasetSwitchOnDemand(t *testing.T) {
 	ts := testServer(t, "kcore", "")
-	var info struct {
-		Dataset  string   `json:"dataset"`
-		Measure  string   `json:"measure"`
-		Datasets []string `json:"datasets"`
-	}
 	resp := get(t, ts.URL+"/measure?dataset=PPI")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("dataset switch status %d", resp.StatusCode)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		t.Fatal(err)
-	}
+	info := waitSettled(t, ts)
 	if info.Dataset != "PPI" || info.Measure != "kcore" {
 		t.Fatalf("post-switch state %+v", info)
 	}
@@ -364,15 +480,13 @@ func TestDatasetSwitchOnDemand(t *testing.T) {
 	if img := get(t, ts.URL+"/treemap.png?size=128"); img.StatusCode != http.StatusOK {
 		t.Fatalf("treemap after dataset switch: %d", img.StatusCode)
 	}
-	// Unknown datasets are a client error and leave the selection intact.
+	// Unknown datasets are a client error — still synchronous, the
+	// dataset resolves before any background work starts — and leave
+	// the selection intact.
 	if resp := get(t, ts.URL+"/measure?dataset=NotATable1Name"); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown dataset status %d, want 400", resp.StatusCode)
 	}
-	resp = get(t, ts.URL+"/measure")
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		t.Fatal(err)
-	}
-	if info.Dataset != "PPI" {
+	if info := waitSettled(t, ts); info.Dataset != "PPI" {
 		t.Fatalf("selection changed to %q by a rejected switch", info.Dataset)
 	}
 }

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Builder accumulates edges and produces an immutable Graph.
@@ -51,11 +51,14 @@ func (b *Builder) AddEdge(u, v int32) {
 func (b *Builder) Build() *Graph {
 	edges := make([]Edge, len(b.edges))
 	copy(edges, b.edges)
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
+	// slices.SortFunc over sort.Slice: no interface boxing and no
+	// closure capturing the slice header, matching the sortChunk idiom
+	// in internal/core.
+	slices.SortFunc(edges, func(a, b Edge) int {
+		if a.U != b.U {
+			return int(a.U) - int(b.U)
 		}
-		return edges[i].V < edges[j].V
+		return int(a.V) - int(b.V)
 	})
 	// Deduplicate.
 	out := edges[:0]

@@ -1,0 +1,243 @@
+package graph
+
+import "math/bits"
+
+// Batched multi-source BFS (MS-BFS) with bit-parallel frontiers, after
+// Then et al., "The More the Merrier: Efficient Multi-Source Graph
+// Traversal" (VLDB 2015), combined with the direction-optimizing
+// top-down/bottom-up switch of Beamer et al. (SC 2012).
+//
+// The distance-based centralities (closeness, harmonic) need one BFS
+// per source — O(|V|·|E|) total — and dominate every full-graph
+// analysis. MS-BFS runs up to 64 of those traversals simultaneously:
+// each vertex carries one uint64 word per role (visited, current
+// frontier, next frontier) whose bit i belongs to source i, so one
+// AND/OR over a neighbor word advances all 64 traversals at once. The
+// per-edge work of a batch is shared across its sources, which is
+// where the order-of-magnitude win over per-source BFS comes from.
+//
+// Distances are not materialized per (source, vertex) pair — that
+// would cost 64×|V| words per batch. Instead the engine reports, after
+// each completed BFS level, how many vertices each source reached at
+// that depth. Those level counts are exactly what the distance-based
+// folds consume: closeness needs Σ level·count and Σ count, harmonic
+// needs Σ count/level. Folds over level counts are deterministic —
+// the counts are set-determined, independent of traversal direction,
+// worker count, and visit order.
+
+// MSBFSBatch is the number of BFS sources one batch advances in
+// parallel: the width of the frontier machine word.
+const MSBFSBatch = 64
+
+// Direction-switch policy. Top-down work is Σ deg(v) over the frontier;
+// bottom-up work is bounded by Σ deg(v) over vertices not yet seen by
+// the whole batch, with early exit once a vertex has found all its
+// sources. Switching when the frontier's edge budget exceeds 1/msbfsAlpha
+// of the remaining unseen edge budget follows Beamer's m_f > m_u/α rule;
+// the small-frontier floor keeps tiny graphs and sparse tails on the
+// exact-cost top-down path. The choice affects only speed, never
+// results: both directions compute the same next-frontier sets.
+const (
+	msbfsAlpha       = 8
+	msbfsMinFrontier = 32
+)
+
+// Test hook values for MSBFSScratch.forceDir.
+const (
+	msbfsAuto int8 = iota
+	msbfsForceTopDown
+	msbfsForceBottomUp
+)
+
+// MSBFSScratch holds the pooled state of batched traversals: the three
+// per-vertex bit-field arrays and the frontier/pending vertex lists. A
+// zero MSBFSScratch is ready to use; buffers are sized on first use and
+// grown only when a larger graph arrives, so a scratch held per worker
+// makes every warm batch allocation-free. Scratches are not safe for
+// concurrent use — give each goroutine its own.
+type MSBFSScratch struct {
+	// words backs seen/frontier/next: one allocation, three views.
+	words []uint64
+	// lists backs cur/nxt/pending the same way.
+	lists []int32
+
+	seen, frontier, next []uint64
+	cur, nxt, pending    []int32
+
+	// counts is the per-level report buffer handed to the visitor; it
+	// lives on the scratch (not the stack) so passing its address to an
+	// arbitrary visitor does not force a per-batch heap allocation.
+	counts [MSBFSBatch]int32
+
+	// forceDir pins the traversal direction for tests (msbfsAuto in
+	// production): oracle tests force both directions and require
+	// identical level counts.
+	forceDir int8
+}
+
+// resize points the scratch views at backing storage for an n-vertex
+// graph, reusing the existing arrays when they are large enough.
+func (s *MSBFSScratch) resize(n int) {
+	if cap(s.words) < 3*n {
+		s.words = make([]uint64, 3*n)
+		s.lists = make([]int32, 3*n)
+	}
+	w := s.words
+	s.seen, s.frontier, s.next = w[0:n:n], w[n:2*n:2*n], w[2*n:3*n:3*n]
+	l := s.lists
+	s.cur, s.nxt, s.pending = l[0:0:n], l[n:n:2*n], l[2*n:2*n:3*n]
+}
+
+// RunBatch runs one batched BFS from up to MSBFSBatch sources
+// (sources[i] owns bit i) and calls visit after every completed level
+// with the number of vertices each source first reached at that depth:
+// counts[i] is source i's count at the given level (levels start at 1;
+// the sources themselves, depth 0, are not reported, matching the
+// d > 0 guard of the distance folds). The counts array is reused
+// between levels and must not be retained.
+//
+// Vertices unreachable from a source simply never appear in its
+// counts, so disconnected graphs and isolated vertices need no special
+// casing in the fold. Duplicate sources are legal and traverse
+// identically. RunBatch panics if len(sources) exceeds MSBFSBatch or a
+// source is out of range.
+func (s *MSBFSScratch) RunBatch(g *Graph, sources []int32, visit func(level int32, counts *[MSBFSBatch]int32)) {
+	k := len(sources)
+	if k == 0 {
+		return
+	}
+	if k > MSBFSBatch {
+		panic("graph: MS-BFS batch exceeds MSBFSBatch sources")
+	}
+	n := g.NumVertices()
+	s.resize(n)
+	full := ^uint64(0)
+	if k < MSBFSBatch {
+		full = 1<<uint(k) - 1
+	}
+
+	// The frontier/next invariant (zero outside the current lists) is
+	// re-established here rather than assumed, so a visitor panic in a
+	// previous batch cannot poison this one. Three memsets are linear,
+	// like the traversal itself.
+	clear(s.seen)
+	clear(s.frontier)
+	clear(s.next)
+
+	cur, nxt, pending := s.cur[:0], s.nxt[:0], s.pending[:0]
+	for i, src := range sources {
+		bit := uint64(1) << uint(i)
+		if s.frontier[src] == 0 {
+			cur = append(cur, src)
+		}
+		s.frontier[src] |= bit
+		s.seen[src] |= bit
+	}
+	// incompleteDeg tracks Σ deg(v) over vertices some source has not
+	// yet seen — the bottom-up cost bound the direction switch compares
+	// against.
+	incompleteDeg := int64(2 * g.NumEdges())
+	for _, v := range cur {
+		if s.seen[v] == full {
+			incompleteDeg -= int64(g.Degree(v))
+		}
+	}
+
+	pendingBuilt := false
+	counts := &s.counts
+	for level := int32(1); len(cur) > 0; level++ {
+		frontierDeg := int64(0)
+		for _, v := range cur {
+			frontierDeg += int64(g.Degree(v))
+		}
+		bottomUp := false
+		switch s.forceDir {
+		case msbfsForceTopDown:
+		case msbfsForceBottomUp:
+			bottomUp = true
+		default:
+			bottomUp = len(cur) >= msbfsMinFrontier && frontierDeg*msbfsAlpha > incompleteDeg
+		}
+
+		nxt = nxt[:0]
+		if bottomUp {
+			// Bottom-up: every vertex still missing sources scans its
+			// own neighborhood for frontier bits, with early exit once
+			// all missing bits are found. The pending list is built on
+			// the first bottom-up level and compacted as vertices
+			// complete; it stays a valid superset across intervening
+			// top-down levels.
+			if !pendingBuilt {
+				for v := int32(0); v < int32(n); v++ {
+					if s.seen[v] != full {
+						pending = append(pending, v)
+					}
+				}
+				pendingBuilt = true
+			}
+			live := pending[:0]
+			for _, v := range pending {
+				missing := full &^ s.seen[v]
+				if missing == 0 {
+					continue
+				}
+				live = append(live, v)
+				var acc uint64
+				for _, u := range g.Neighbors(v) {
+					acc |= s.frontier[u]
+					if acc&missing == missing {
+						break
+					}
+				}
+				if d := acc & missing; d != 0 {
+					s.next[v] = d
+					nxt = append(nxt, v)
+				}
+			}
+			pending = live
+		} else {
+			// Top-down: frontier vertices push their bits to neighbors
+			// that have not seen them yet.
+			for _, v := range cur {
+				f := s.frontier[v]
+				for _, u := range g.Neighbors(v) {
+					if d := f &^ s.seen[u]; d != 0 {
+						if s.next[u] == 0 {
+							nxt = append(nxt, u)
+						}
+						s.next[u] |= d
+					}
+				}
+			}
+		}
+
+		if len(nxt) == 0 {
+			for _, v := range cur {
+				s.frontier[v] = 0
+			}
+			break
+		}
+
+		// Commit the level: fold the newly set bits into seen, count
+		// them per source, and report. next bits are disjoint from seen
+		// by construction in both directions.
+		clear(counts[:])
+		for _, v := range nxt {
+			d := s.next[v]
+			s.seen[v] |= d
+			if s.seen[v] == full {
+				incompleteDeg -= int64(g.Degree(v))
+			}
+			for w := d; w != 0; w &= w - 1 {
+				counts[bits.TrailingZeros64(w)]++
+			}
+		}
+		visit(level, counts)
+
+		for _, v := range cur {
+			s.frontier[v] = 0
+		}
+		s.frontier, s.next = s.next, s.frontier
+		cur, nxt = nxt, cur
+	}
+}

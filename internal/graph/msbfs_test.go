@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// msbfsRandomGraph builds a random multigraph over n vertices with
+// about density·n edge attempts; duplicate edges and self-loops are
+// dropped by the builder, and low densities leave isolated vertices and
+// multiple components — exactly the shapes the level-count contract
+// must survive.
+func msbfsRandomGraph(seed int64, n int, density float64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for i := 0; i < int(density*float64(n)); i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// levelCounts runs one MS-BFS batch and collects, per source, the
+// count of vertices first reached at each level (index = level-1).
+func levelCounts(t *testing.T, s *MSBFSScratch, g *Graph, sources []int32) [][]int32 {
+	t.Helper()
+	out := make([][]int32, len(sources))
+	s.RunBatch(g, sources, func(level int32, counts *[MSBFSBatch]int32) {
+		if int(level) != len(out[0])+1 && len(sources) > 0 {
+			// Levels must arrive consecutively starting at 1.
+			for i := range out {
+				if int(level) != len(out[i])+1 {
+					t.Fatalf("level %d reported after %d levels", level, len(out[i]))
+				}
+			}
+		}
+		for i := range out {
+			out[i] = append(out[i], counts[i])
+		}
+	})
+	return out
+}
+
+// naiveLevelCounts folds one source's per-source BFS distances into the
+// same level-count histogram, the oracle MS-BFS must match exactly.
+func naiveLevelCounts(g *Graph, src int32) []int32 {
+	var counts []int32
+	for _, d := range BFSDistances(g, src) {
+		if d <= 0 {
+			continue
+		}
+		for int(d) > len(counts) {
+			counts = append(counts, 0)
+		}
+		counts[d-1]++
+	}
+	return counts
+}
+
+func trimZeros(c []int32) []int32 {
+	for len(c) > 0 && c[len(c)-1] == 0 {
+		c = c[:len(c)-1]
+	}
+	return c
+}
+
+func assertCountsMatch(t *testing.T, g *Graph, sources []int32, got [][]int32, label string) {
+	t.Helper()
+	for i, src := range sources {
+		want := trimZeros(naiveLevelCounts(g, src))
+		have := trimZeros(got[i])
+		if len(want) != len(have) {
+			t.Fatalf("%s: source %d: %d levels, naive BFS has %d", label, src, len(have), len(want))
+		}
+		for l := range want {
+			if want[l] != have[l] {
+				t.Fatalf("%s: source %d level %d: count %d, naive BFS %d", label, src, l+1, have[l], want[l])
+			}
+		}
+	}
+}
+
+// TestMSBFSMatchesNaiveBFS is the core oracle: across random graphs of
+// varying density — including disconnected graphs and isolated
+// vertices — every source's per-level counts from the batched engine
+// equal the histogram of its naive BFS distances, in automatic,
+// forced-top-down, and forced-bottom-up modes alike.
+func TestMSBFSMatchesNaiveBFS(t *testing.T) {
+	var s MSBFSScratch
+	for seed := int64(0); seed < 6; seed++ {
+		for _, density := range []float64{0.3, 1.5, 4.0} {
+			n := 40 + int(seed)*37
+			g := msbfsRandomGraph(seed, n, density)
+			sources := make([]int32, 0, MSBFSBatch)
+			for v := 0; v < n && v < MSBFSBatch; v++ {
+				sources = append(sources, int32(v))
+			}
+			for _, dir := range []int8{msbfsAuto, msbfsForceTopDown, msbfsForceBottomUp} {
+				s.forceDir = dir
+				got := levelCounts(t, &s, g, sources)
+				assertCountsMatch(t, g, sources, got, "fuzz")
+			}
+			s.forceDir = msbfsAuto
+		}
+	}
+}
+
+// TestMSBFSDirectionsAgree pins the direction-optimization contract
+// directly: forced top-down and forced bottom-up produce identical
+// counts on a graph dense enough that the automatic heuristic actually
+// switches.
+func TestMSBFSDirectionsAgree(t *testing.T) {
+	g := msbfsRandomGraph(7, 300, 6.0)
+	sources := make([]int32, MSBFSBatch)
+	for i := range sources {
+		sources[i] = int32(i)
+	}
+	var td, bu MSBFSScratch
+	td.forceDir = msbfsForceTopDown
+	bu.forceDir = msbfsForceBottomUp
+	a := levelCounts(t, &td, g, sources)
+	b := levelCounts(t, &bu, g, sources)
+	for i := range a {
+		ta, tb := trimZeros(a[i]), trimZeros(b[i])
+		if len(ta) != len(tb) {
+			t.Fatalf("source %d: %d levels top-down, %d bottom-up", i, len(ta), len(tb))
+		}
+		for l := range ta {
+			if ta[l] != tb[l] {
+				t.Fatalf("source %d level %d: top-down %d, bottom-up %d", i, l+1, ta[l], tb[l])
+			}
+		}
+	}
+}
+
+// TestMSBFSShapes covers the structured corner cases: a path (deep,
+// narrow levels), a star (one fat level), a batch smaller than the
+// word, a single source, duplicate sources, and graphs with no edges.
+func TestMSBFSShapes(t *testing.T) {
+	var s MSBFSScratch
+
+	path := NewBuilder(50)
+	for i := int32(0); i < 49; i++ {
+		path.AddEdge(i, i+1)
+	}
+	star := NewBuilder(20)
+	for i := int32(1); i < 20; i++ {
+		star.AddEdge(0, i)
+	}
+	empty := NewBuilder(5).Build()
+
+	cases := []struct {
+		name    string
+		g       *Graph
+		sources []int32
+	}{
+		{"path/full-batch", path.Build(), []int32{0, 7, 24, 49}},
+		{"star", star.Build(), []int32{0, 1, 5}},
+		{"no-edges", empty, []int32{0, 3}},
+		{"single-source", msbfsRandomGraph(3, 64, 2), []int32{11}},
+		{"duplicate-sources", msbfsRandomGraph(4, 64, 2), []int32{9, 9, 30}},
+	}
+	for _, tc := range cases {
+		got := levelCounts(t, &s, tc.g, tc.sources)
+		assertCountsMatch(t, tc.g, tc.sources, got, tc.name)
+	}
+}
+
+func TestMSBFSEmptyBatch(t *testing.T) {
+	var s MSBFSScratch
+	g := msbfsRandomGraph(1, 10, 2)
+	s.RunBatch(g, nil, func(int32, *[MSBFSBatch]int32) {
+		t.Fatal("visitor called for an empty batch")
+	})
+}
+
+// TestMSBFSWarmBatchAllocationFree pins the pooled-scratch contract:
+// after the first batch has sized the buffers, further batches on the
+// same scratch allocate nothing.
+func TestMSBFSWarmBatchAllocationFree(t *testing.T) {
+	g := msbfsRandomGraph(5, 500, 2.5)
+	sources := make([]int32, MSBFSBatch)
+	for i := range sources {
+		sources[i] = int32(i * 7)
+	}
+	var s MSBFSScratch
+	visit := func(int32, *[MSBFSBatch]int32) {}
+	s.RunBatch(g, sources, visit) // warm up
+	if a := testing.AllocsPerRun(10, func() {
+		s.RunBatch(g, sources, visit)
+	}); a != 0 {
+		t.Fatalf("warm RunBatch allocates %v objects per batch, want 0", a)
+	}
+}

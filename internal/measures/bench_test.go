@@ -25,6 +25,27 @@ func BenchmarkClosenessCentrality(b *testing.B) {
 	}
 }
 
+// BenchmarkClosenessPerSourceBaseline is the PR 2 kernel the batched
+// MS-BFS engine replaced; the ratio against BenchmarkClosenessCentrality
+// is the batching speedup.
+func BenchmarkClosenessPerSourceBaseline(b *testing.B) {
+	g := benchCentralityGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PerSourceClosenessCentrality(g)
+	}
+}
+
+// BenchmarkSharedDistanceFields times the multi-field fast path: both
+// distance-based measures from one MS-BFS traversal.
+func BenchmarkSharedDistanceFields(b *testing.B) {
+	g := benchCentralityGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SharedDistanceFields(g, []string{"closeness", "harmonic"}, false)
+	}
+}
+
 func BenchmarkHarmonicCentrality(b *testing.B) {
 	g := benchCentralityGraph(b)
 	b.ResetTimer()

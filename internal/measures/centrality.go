@@ -50,13 +50,15 @@ func ApproxBetweennessCentrality(g *graph.Graph, samples int, seed int64) []floa
 
 // brandesScratch holds the per-worker state of the Brandes
 // accumulation: shortest-path counts, distances, dependency
-// accumulators, and the BFS visitation order. One scratch serves any
-// number of sources without further allocation.
+// accumulators, the BFS visitation order, and the bottom-up pending
+// list of the direction-optimizing forward phase. One scratch serves
+// any number of sources without further allocation.
 type brandesScratch struct {
-	sigma []float64 // shortest-path counts
-	dist  []int32
-	delta []float64 // dependency accumulators
-	order []int32
+	sigma   []float64 // shortest-path counts
+	dist    []int32
+	delta   []float64 // dependency accumulators
+	order   []int32
+	pending []int32 // not-yet-discovered vertices, bottom-up levels only
 }
 
 // resize sizes the scratch for an n-vertex graph, reusing the existing
@@ -67,11 +69,25 @@ func (s *brandesScratch) resize(n int) {
 		s.dist = make([]int32, n)
 		s.delta = make([]float64, n)
 		s.order = make([]int32, 0, n)
+		s.pending = make([]int32, 0, n)
 	}
 	s.sigma = s.sigma[:n]
 	s.dist = s.dist[:n]
 	s.delta = s.delta[:n]
 }
+
+// Direction-switch policy of the Brandes forward phase, mirroring the
+// MS-BFS engine's: go bottom-up when the frontier's edge budget exceeds
+// 1/brandesAlpha of the undiscovered edge budget and the frontier is
+// big enough to amortize scanning the pending list. Direction changes
+// the within-level discovery order (bottom-up appends in ascending
+// vertex ID), which reorders the floating-point dependency sums — the
+// summation-order freedom the registry already grants kernels — while
+// sigma counts and distances stay exact either way.
+const (
+	brandesAlpha       = 8
+	brandesMinFrontier = 32
+)
 
 // betweennessFrom runs the Brandes accumulation from the given sources.
 func betweennessFrom(g *graph.Graph, sources []int32, scale float64) []float64 {
@@ -89,11 +105,17 @@ func betweennessFrom(g *graph.Graph, sources []int32, scale float64) []float64 {
 // betweennessInto accumulates unscaled Brandes dependencies from the
 // given sources into bc, reusing the scratch across sources: after the
 // scratch has warmed up to the graph's size, the loop allocates
-// nothing.
+// nothing. The forward phase is direction-optimizing: dense middle
+// levels flip to bottom-up expansion (each undiscovered vertex scans
+// its own neighborhood for parents), sparse levels stay on the exact
+// top-down queue. Either direction yields the same level structure and
+// the same exact sigma counts; order is always level-monotone, which is
+// all the back-propagation needs.
 func betweennessInto(g *graph.Graph, sources []int32, bc []float64, scratch *brandesScratch) {
 	n := g.NumVertices()
 	scratch.resize(n)
 	sigma, dist, delta := scratch.sigma, scratch.dist, scratch.delta
+	totalDeg := int64(2 * g.NumEdges())
 
 	for _, s := range sources {
 		for i := 0; i < n; i++ {
@@ -102,17 +124,70 @@ func betweennessInto(g *graph.Graph, sources []int32, bc []float64, scratch *bra
 		order := scratch.order[:0]
 		sigma[s], dist[s] = 1, 0
 		order = append(order, s)
-		for head := 0; head < len(order); head++ {
-			v := order[head]
-			for _, u := range g.Neighbors(v) {
-				if dist[u] < 0 {
-					dist[u] = dist[v] + 1
-					order = append(order, u)
+		unvisitedDeg := totalDeg - int64(g.Degree(s))
+		pending := scratch.pending[:0]
+		pendingBuilt := false
+		levelStart := 0
+		for level := int32(1); levelStart < len(order); level++ {
+			levelEnd := len(order)
+			frontierDeg := int64(0)
+			for _, v := range order[levelStart:levelEnd] {
+				frontierDeg += int64(g.Degree(v))
+			}
+			if levelEnd-levelStart >= brandesMinFrontier && frontierDeg*brandesAlpha > unvisitedDeg {
+				// Bottom-up: undiscovered vertices look for parents in
+				// the previous level. No early exit — sigma must sum
+				// over every parent. The pending list is built once per
+				// source and compacted as vertices are discovered.
+				if !pendingBuilt {
+					for v := int32(0); v < int32(n); v++ {
+						if dist[v] < 0 {
+							pending = append(pending, v)
+						}
+					}
+					pendingBuilt = true
 				}
-				if dist[u] == dist[v]+1 {
-					sigma[u] += sigma[v]
+				live := pending[:0]
+				for _, v := range pending {
+					if dist[v] >= 0 {
+						continue
+					}
+					found := false
+					for _, u := range g.Neighbors(v) {
+						if dist[u] == level-1 {
+							if !found {
+								found = true
+								dist[v] = level
+								order = append(order, v)
+							}
+							sigma[v] += sigma[u]
+						}
+					}
+					if !found {
+						live = append(live, v)
+					}
+				}
+				pending = live
+			} else {
+				// Top-down: identical statements (and hence identical
+				// discovery order and float results) to the classic
+				// rolling-queue loop, chunked by level.
+				for _, v := range order[levelStart:levelEnd] {
+					for _, u := range g.Neighbors(v) {
+						if dist[u] < 0 {
+							dist[u] = level
+							order = append(order, u)
+						}
+						if dist[u] == level {
+							sigma[u] += sigma[v]
+						}
+					}
 				}
 			}
+			for _, v := range order[levelEnd:] {
+				unvisitedDeg -= int64(g.Degree(v))
+			}
+			levelStart = levelEnd
 		}
 		// Back-propagate dependencies in reverse BFS order.
 		for i := len(order) - 1; i > 0; i-- {
@@ -128,23 +203,21 @@ func betweennessInto(g *graph.Graph, sources []int32, bc []float64, scratch *bra
 	}
 }
 
-// ClosenessCentrality computes, for every vertex, (reachable-1) /
-// (sum of distances to reachable vertices), the standard
-// component-normalized closeness (Wasserman–Faust). Isolated vertices
-// score 0.
+// ClosenessCentrality computes, for every vertex, the standard
+// component-normalized closeness (Wasserman–Faust): the reachable
+// fraction squared over the mean distance. Isolated vertices score 0.
+// It runs on the batched MS-BFS engine — 64 sources per traversal,
+// single-worker — and is bit-identical to the retained per-source
+// baseline (the fold's integer sums are exact in any order); see
+// distance.go for the fold contract.
 func ClosenessCentrality(g *graph.Graph) []float64 {
-	n := g.NumVertices()
-	out := make([]float64, n)
-	var scratch graph.BFSScratch
-	for v := 0; v < n; v++ {
-		out[v] = closenessOf(scratch.Distances(g, int32(v)), n)
-	}
-	return out
+	clo, _ := msbfsFields(g, true, false, 1)
+	return clo
 }
 
 // closenessOf folds one source's BFS distances into its closeness
-// score, shared by the serial and parallel kernels so they agree
-// bitwise.
+// score. It is the reference fold of the retained per-source baseline
+// kernels, which the MS-BFS oracle tests compare against.
 func closenessOf(dist []int32, n int) float64 {
 	var sum, reach float64
 	for _, d := range dist {
@@ -163,19 +236,18 @@ func closenessOf(dist []int32, n int) float64 {
 
 // HarmonicCentrality computes Σ_{u≠v} 1/d(v,u) with 1/∞ = 0, the
 // harmonic centrality the paper's introduction lists among global
-// connectivity measures.
+// connectivity measures. It runs on the batched MS-BFS engine with the
+// level-count fold Σ_L c_L/L (ascending L), which agrees with the
+// retained per-source baseline up to floating-point summation order;
+// see distance.go for the fold contract.
 func HarmonicCentrality(g *graph.Graph) []float64 {
-	n := g.NumVertices()
-	out := make([]float64, n)
-	var scratch graph.BFSScratch
-	for v := 0; v < n; v++ {
-		out[v] = harmonicOf(scratch.Distances(g, int32(v)))
-	}
-	return out
+	_, har := msbfsFields(g, false, true, 1)
+	return har
 }
 
-// harmonicOf folds one source's BFS distances into its harmonic score,
-// shared by the serial and parallel kernels so they agree bitwise.
+// harmonicOf folds one source's BFS distances into its harmonic score
+// in vertex order. It is the reference fold of the retained per-source
+// baseline kernels, which the MS-BFS oracle tests compare against.
 func harmonicOf(dist []int32) float64 {
 	var sum float64
 	for _, d := range dist {

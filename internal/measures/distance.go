@@ -1,0 +1,203 @@
+package measures
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// The distance-based centralities (closeness, harmonic) ride the
+// batched MS-BFS engine of internal/graph: sources are grouped into
+// word-wide batches, each batch advances 64 traversals at once, and the
+// per-level counts the engine reports are folded directly into scores.
+//
+// Fold semantics. For each source s, the engine reports c_L = number of
+// vertices first reached at depth L, for L = 1, 2, … in order. The
+// folds are
+//
+//	closeness: reach = Σ c_L, sum = Σ L·c_L (exact int64 arithmetic),
+//	           score = reach² / ((n-1)·sum), 0 when sum = 0
+//	harmonic:  Σ_L float64(c_L)/float64(L), accumulated in ascending L
+//
+// Closeness is bit-identical to the retained per-source baseline: its
+// intermediate sums are integers, exact in either accumulation order
+// (while Σ distances < 2^53, astronomically beyond any graph here).
+// Harmonic's level-count fold replaces the baseline's vertex-order
+// Σ 1/d_v; the two agree up to floating-point summation order (last
+// ulp), the same contract the registry already sets for serial vs
+// parallel kernels. Every kernel in this package — serial, parallel,
+// and shared-pass — uses the level-count fold, so they agree with each
+// other bitwise for any worker count: batch boundaries are fixed by
+// vertex ID, and each batch's fold is independent of scheduling.
+
+// distAccum folds one batch's level counts. It lives on the worker, is
+// reset per batch, and its visit method is bound once per worker so the
+// batch loop stays allocation-free.
+type distAccum struct {
+	wantClose, wantHarm bool
+	reach               [graph.MSBFSBatch]int64
+	sumDist             [graph.MSBFSBatch]int64
+	harm                [graph.MSBFSBatch]float64
+}
+
+func (a *distAccum) reset() {
+	if a.wantClose {
+		clear(a.reach[:])
+		clear(a.sumDist[:])
+	}
+	if a.wantHarm {
+		clear(a.harm[:])
+	}
+}
+
+func (a *distAccum) visit(level int32, counts *[graph.MSBFSBatch]int32) {
+	for s, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if a.wantClose {
+			a.reach[s] += int64(c)
+			a.sumDist[s] += int64(level) * int64(c)
+		}
+		if a.wantHarm {
+			// The literal division (not a hoisted 1/L multiply) keeps
+			// the fold deterministic: c/L and c·(1/L) round differently
+			// when 1/L is inexact — see the fold contract above.
+			a.harm[s] += float64(c) / float64(level)
+		}
+	}
+}
+
+// closenessScore mirrors the baseline closenessOf expression exactly:
+// same operations, same order, with the exact integer sums substituted
+// for the float-accumulated ones.
+func closenessScore(reach, sumDist int64, n int) float64 {
+	if sumDist == 0 {
+		return 0
+	}
+	r := float64(reach)
+	return r * r / (float64(n-1) * float64(sumDist))
+}
+
+// msbfsFields computes the requested distance-based fields in one
+// shared MS-BFS sweep over all vertices. Batches (64 consecutive vertex
+// IDs each) are strided across workers; each worker holds one pooled
+// scratch and one accumulator, and batches write disjoint output
+// ranges, so the sweep needs no locks and performs O(1) allocations per
+// worker once warm. Results are identical for any worker count.
+func msbfsFields(g *graph.Graph, wantClose, wantHarm bool, workers int) (clo, har []float64) {
+	n := g.NumVertices()
+	if wantClose {
+		clo = make([]float64, n)
+	}
+	if wantHarm {
+		har = make([]float64, n)
+	}
+	if n == 0 {
+		return clo, har
+	}
+	numBatches := (n + graph.MSBFSBatch - 1) / graph.MSBFSBatch
+	if workers > numBatches {
+		workers = numBatches
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	run := func(w int) {
+		var scratch graph.MSBFSScratch
+		var sources [graph.MSBFSBatch]int32
+		acc := distAccum{wantClose: wantClose, wantHarm: wantHarm}
+		visit := acc.visit
+		for b := w; b < numBatches; b += workers {
+			lo := b * graph.MSBFSBatch
+			hi := lo + graph.MSBFSBatch
+			if hi > n {
+				hi = n
+			}
+			batch := sources[:hi-lo]
+			for i := range batch {
+				batch[i] = int32(lo + i)
+			}
+			acc.reset()
+			scratch.RunBatch(g, batch, visit)
+			for i := 0; i < hi-lo; i++ {
+				if wantClose {
+					clo[lo+i] = closenessScore(acc.reach[i], acc.sumDist[i], n)
+				}
+				if wantHarm {
+					har[lo+i] = acc.harm[i]
+				}
+			}
+		}
+	}
+	if workers == 1 {
+		run(0)
+		return clo, har
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			run(w)
+		}(w)
+	}
+	wg.Wait()
+	return clo, har
+}
+
+// distanceWorkers is the shared worker policy of the MS-BFS kernels:
+// serial below the par cutoff (batch startup dominates), all cores
+// above it when parallel execution was requested.
+func distanceWorkers(g *graph.Graph, parallel bool) int {
+	if !parallel {
+		return 1
+	}
+	return par.Workers(g.NumVertices())
+}
+
+// distanceMeasures is the single source of truth for which registry
+// names are distance-based: DistanceBased and SharedDistanceFields
+// both consult it, so adding a measure here lights up the shared-pass
+// path everywhere at once.
+var distanceMeasures = map[string]struct{ close, harm bool }{
+	"closeness": {close: true},
+	"harmonic":  {harm: true},
+}
+
+// DistanceBased reports whether the named registered measure is
+// computed from BFS distances and can therefore join a shared MS-BFS
+// pass via SharedDistanceFields.
+func DistanceBased(name string) bool {
+	_, ok := distanceMeasures[name]
+	return ok
+}
+
+// SharedDistanceFields computes several distance-based measures from
+// one shared MS-BFS traversal: each batch of 64 BFS sources is folded
+// into every requested field simultaneously, so asking for closeness
+// and harmonic together costs one traversal, not two. It returns
+// ok=false (and does nothing) unless every name is DistanceBased; each
+// returned field is bit-identical to the field the registry computes
+// for that measure alone.
+func SharedDistanceFields(g *graph.Graph, names []string, parallel bool) (map[string][]float64, bool) {
+	wantClose, wantHarm := false, false
+	for _, name := range names {
+		sel, ok := distanceMeasures[name]
+		if !ok {
+			return nil, false
+		}
+		wantClose = wantClose || sel.close
+		wantHarm = wantHarm || sel.harm
+	}
+	clo, har := msbfsFields(g, wantClose, wantHarm, distanceWorkers(g, parallel))
+	out := make(map[string][]float64, 2)
+	if wantClose {
+		out["closeness"] = clo
+	}
+	if wantHarm {
+		out["harmonic"] = har
+	}
+	return out, true
+}

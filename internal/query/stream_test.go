@@ -1,0 +1,151 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// TestWatchStreamInvalidatesOnUpdate is the streaming-invalidation
+// acceptance test: once a dataset's monitor is wired to the engine, a
+// monotone update (RaiseScalar) evicts the cached snapshot, so the next
+// query re-analyzes instead of serving the stale analysis forever.
+func TestWatchStreamInvalidatesOnUpdate(t *testing.T) {
+	e := testEngine(t, Options{})
+	key := Key{Dataset: "tiny", Measure: "kcore"}
+
+	if _, err := e.Snapshot(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Snapshot(key); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.AnalysisCount(); got != 1 {
+		t.Fatalf("%d analyses before any update, want 1 (cache must hold)", got)
+	}
+
+	m := stream.NewMonitor(2, []float64{1, 1, 1, 1, 1, 1, 1})
+	e.WatchStream("tiny", m)
+
+	// A monotone update on the watched dataset evicts its snapshots.
+	if err := m.RaiseScalar(3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if e.Cached(key) {
+		t.Fatal("snapshot still cached after a stream update")
+	}
+	if _, err := e.Snapshot(key); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.AnalysisCount(); got != 2 {
+		t.Fatalf("%d analyses after the update, want 2 (query must re-analyze)", got)
+	}
+
+	// Edge and vertex updates invalidate too.
+	if _, err := e.Snapshot(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if e.Cached(key) {
+		t.Fatal("snapshot survived AddEdge on a watched dataset")
+	}
+	m.AddVertex(7)
+	if _, err := e.Snapshot(key); err != nil {
+		t.Fatal(err)
+	}
+
+	// The full freshness loop: the updater re-registers the rebuilt
+	// graph alongside the stream updates (the Monitor tracks
+	// components, not the engine's graph), and eviction guarantees the
+	// next query analyzes the new registration — the served field
+	// actually changes, not just the analysis count.
+	before, err := e.Snapshot(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := graph.FromEdges(7, append(append([]graph.Edge(nil), testGraph().Edges()...),
+		graph.Edge{U: 0, V: 3}, graph.Edge{U: 1, V: 4}, graph.Edge{U: 2, V: 5}))
+	e.RegisterDataset("tiny", g2)
+	// A fresh edge (AddEdge(0,3) above is already known and would
+	// dedup to a no-op): the new update evicts the stale snapshot.
+	if _, err := m.AddEdge(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Snapshot(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(before.Values, after.Values) {
+		t.Fatal("re-analysis after re-registration served the old field")
+	}
+	if after.Graph != g2 {
+		t.Fatal("re-analysis did not pick up the re-registered graph")
+	}
+
+	// Other datasets are untouched: only the watched name is evicted.
+	other := Key{Dataset: "tiny2", Measure: "kcore"}
+	e.RegisterDataset("tiny2", testGraph())
+	if _, err := e.Snapshot(other); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RaiseScalar(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Cached(other) {
+		t.Fatal("update on tiny evicted tiny2's snapshot")
+	}
+}
+
+// TestMonitorOnUpdateFiresOnlyOnChange pins the hook's semantics at the
+// stream level: accepted state changes fire, rejected or no-op updates
+// do not.
+func TestMonitorOnUpdateFiresOnlyOnChange(t *testing.T) {
+	m := stream.NewMonitor(2, []float64{3, 1})
+	fired := 0
+	m.OnUpdate(func() { fired++ })
+
+	if err := m.RaiseScalar(1, 1); err != nil || fired != 0 {
+		t.Fatalf("no-op RaiseScalar: err=%v fired=%d", err, fired)
+	}
+	if err := m.RaiseScalar(1, 0.5); err == nil {
+		t.Fatal("decrease must be rejected")
+	}
+	if fired != 0 {
+		t.Fatalf("rejected update fired the hook %d times", fired)
+	}
+	if _, err := m.AddEdge(0, 1); err != nil || fired != 1 {
+		t.Fatalf("parked AddEdge: err=%v fired=%d, want 1", err, fired)
+	}
+	if _, err := m.AddEdge(0, 1); err != nil || fired != 1 {
+		t.Fatalf("duplicate parked AddEdge must not fire: fired=%d", fired)
+	}
+	if err := m.RaiseScalar(1, 2); err != nil || fired != 2 {
+		t.Fatalf("activating RaiseScalar: err=%v fired=%d, want 2", err, fired)
+	}
+	// Redelivering the now-replayed edge between two active, already
+	// connected vertices is a no-op and must not fire: an at-least-once
+	// stream would otherwise evict snapshots on every redelivery.
+	if _, err := m.AddEdge(0, 1); err != nil || fired != 2 {
+		t.Fatalf("duplicate active AddEdge: err=%v fired=%d, want 2", err, fired)
+	}
+	m.AddVertex(0)
+	if fired != 3 {
+		t.Fatalf("AddVertex fired=%d, want 3", fired)
+	}
+	m.AddVertex(9)
+	if fired != 4 {
+		t.Fatalf("active AddVertex fired=%d, want 4", fired)
+	}
+	// A genuinely new active-active edge fires even when it merges
+	// nothing new structurally... here it does merge (fresh component).
+	if _, err := m.AddEdge(0, 3); err != nil || fired != 5 {
+		t.Fatalf("new active AddEdge: err=%v fired=%d, want 5", err, fired)
+	}
+	if _, err := m.AddEdge(0, 3); err != nil || fired != 5 {
+		t.Fatalf("redelivered active AddEdge fired=%d, want 5", fired)
+	}
+}

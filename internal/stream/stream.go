@@ -37,20 +37,45 @@ type Monitor struct {
 	// accumulated so far; active vertices resolve edges eagerly and
 	// keep no list.
 	pending [][]int32
-	// parked is the set of currently-parked edges in canonical
-	// (min,max) order. It bounds pending: a hostile or repetitive
-	// update stream re-adding the same inactive edge, or RaiseScalar
-	// replaying edges between still-inactive endpoints, previously
-	// appended a fresh pending entry per call with no limit. With the
-	// set, each distinct inactive edge is parked exactly once, so
-	// memory is O(distinct parked edges) regardless of duplicates.
-	parked map[uint64]struct{}
+	// known is the set of every distinct edge ever recorded, in
+	// canonical (min,max) key order. It serves two dedup roles at
+	// once: it bounds pending — a hostile or repetitive update stream
+	// re-adding the same inactive edge previously appended a fresh
+	// pending entry per call with no limit, now each distinct edge is
+	// parked exactly once — and it makes duplicate AddEdge calls
+	// detectable on the active path too, so an at-least-once delivery
+	// stream redelivering edges does not fire onUpdate (and hence does
+	// not evict a watched dataset's snapshots) for updates that change
+	// nothing. Memory is O(distinct edges) regardless of duplicates.
+	known  map[uint64]struct{}
 	comps  int // number of live components
 	merges int // total merge events observed
+
+	// onUpdate, when set, fires after every successful state-changing
+	// update (vertex added, edge recorded, scalar raised). It is the
+	// seam the query layer's snapshot invalidation hangs off: a live
+	// dataset must stop serving stale analyses the moment it changes.
+	// The callback runs synchronously on the updating goroutine; keep
+	// it cheap (cache eviction, a channel send), and do not call back
+	// into the Monitor from it.
+	onUpdate func()
 }
 
-// parkKey is the canonical set key of the undirected edge (u,v).
-func parkKey(u, v int32) uint64 {
+// OnUpdate registers fn to run after every successful state-changing
+// update. Passing nil removes the hook. The Monitor is not safe for
+// concurrent use, so OnUpdate must be called from the same goroutine
+// discipline as the update methods.
+func (m *Monitor) OnUpdate(fn func()) { m.onUpdate = fn }
+
+// notify fires the update hook, if any.
+func (m *Monitor) notify() {
+	if m.onUpdate != nil {
+		m.onUpdate()
+	}
+}
+
+// edgeKey is the canonical set key of the undirected edge (u,v).
+func edgeKey(u, v int32) uint64 {
 	if u > v {
 		u, v = v, u
 	}
@@ -67,7 +92,7 @@ func NewMonitor(alpha float64, values []float64) *Monitor {
 		uf:      unionfind.New(len(values)),
 		active:  make([]bool, len(values)),
 		pending: make([][]int32, len(values)),
-		parked:  make(map[uint64]struct{}),
+		known:   make(map[uint64]struct{}),
 	}
 	for v, s := range values {
 		if s >= alpha {
@@ -100,6 +125,7 @@ func (m *Monitor) AddVertex(value float64) int32 {
 		m.active[id] = true
 		m.comps++
 	}
+	m.notify()
 	return id
 }
 
@@ -115,26 +141,37 @@ func (m *Monitor) AddEdge(u, v int32) (merged bool, err error) {
 	if u == v {
 		return false, nil
 	}
+	key := edgeKey(u, v)
+	_, dup := m.known[key]
+	m.known[key] = struct{}{}
 	if m.active[u] && m.active[v] {
-		return m.union(u, v), nil
+		merged = m.union(u, v)
+		// Notify on a new edge or a structural change; a redelivered
+		// duplicate that merges nothing is a no-op and must not evict
+		// snapshots.
+		if !dup || merged {
+			m.notify()
+		}
+		return merged, nil
+	}
+	if dup {
+		// Already parked (or previously recorded): the pending lists
+		// hold it exactly once, nothing changed.
+		return false, nil
 	}
 	// Park the edge on one inactive endpoint; when that endpoint
 	// activates, the edge is replayed. Parking on both sides would
 	// replay twice, which is harmless (union is idempotent), but we
 	// avoid the duplicate work by parking on one inactive side only.
-	// The parked set deduplicates: re-adding an edge that is already
-	// parked is a no-op, so repeated AddEdge of the same inactive edge
-	// does not grow pending.
-	key := parkKey(u, v)
-	if _, dup := m.parked[key]; dup {
-		return false, nil
-	}
-	m.parked[key] = struct{}{}
+	// The known set deduplicates: re-adding an edge that is already
+	// parked is a no-op (caught above), so repeated AddEdge of the
+	// same inactive edge does not grow pending.
 	if !m.active[u] {
 		m.pending[u] = append(m.pending[u], v)
 	} else {
 		m.pending[v] = append(m.pending[v], u)
 	}
+	m.notify()
 	return false, nil
 }
 
@@ -148,8 +185,12 @@ func (m *Monitor) RaiseScalar(v int32, value float64) error {
 	if value < m.scalar[v] {
 		return fmt.Errorf("stream: scalar of %d may only increase (%g -> %g)", v, m.scalar[v], value)
 	}
+	changed := value > m.scalar[v]
 	m.scalar[v] = value
 	if m.active[v] || value < m.alpha {
+		if changed {
+			m.notify()
+		}
 		return nil
 	}
 	m.active[v] = true
@@ -157,17 +198,17 @@ func (m *Monitor) RaiseScalar(v int32, value float64) error {
 	for _, u := range m.pending[v] {
 		if m.active[u] {
 			m.union(v, u)
-			delete(m.parked, parkKey(v, u))
 		} else {
 			// Still inactive on the far side: repark there so the edge
-			// replays when u activates. The edge stays in the parked
-			// set, so a concurrent duplicate AddEdge still no-ops, and
-			// it moves lists rather than multiplying — each parked edge
-			// lives on exactly one pending list at a time.
+			// replays when u activates. The edge stays in the known
+			// set, so a duplicate AddEdge still no-ops, and it moves
+			// lists rather than multiplying — each parked edge lives on
+			// exactly one pending list at a time.
 			m.pending[u] = append(m.pending[u], v)
 		}
 	}
 	m.pending[v] = nil
+	m.notify()
 	return nil
 }
 

@@ -300,8 +300,8 @@ func TestDuplicateAddEdgeDoesNotGrowPending(t *testing.T) {
 	if got := pendingLen(m); got != 2 {
 		t.Fatalf("pending holds %d entries after 3000 duplicate AddEdge calls, want 2 (one per distinct edge)", got)
 	}
-	if got := len(m.parked); got != 2 {
-		t.Fatalf("parked set holds %d keys, want 2", got)
+	if got := len(m.known); got != 2 {
+		t.Fatalf("known set holds %d keys, want 2 (one per distinct edge)", got)
 	}
 
 	// The deduplicated edges still replay correctly on activation.
@@ -317,8 +317,14 @@ func TestDuplicateAddEdgeDoesNotGrowPending(t *testing.T) {
 	if !m.SameComponent(0, 1) {
 		t.Fatal("edge (0,1) lost by deduplication")
 	}
-	if got := len(m.parked); got != 0 {
-		t.Fatalf("parked set holds %d keys after every endpoint activated, want 0", got)
+	// The known set keeps recording distinct edges after activation —
+	// that is what lets redelivered edges between active endpoints
+	// no-op — while the pending lists are drained.
+	if got := len(m.known); got != 2 {
+		t.Fatalf("known set holds %d keys after activation, want 2", got)
+	}
+	if got := pendingLen(m); got != 0 {
+		t.Fatalf("pending holds %d entries after every endpoint activated, want 0", got)
 	}
 }
 
