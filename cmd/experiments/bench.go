@@ -3,31 +3,39 @@ package main
 // The perf-trajectory experiment: a fixed set of hot-path kernels —
 // tree construction with serial, parallel, and pooled sweep drivers,
 // the distance-based centrality kernels (the batched MS-BFS engine
-// against the retained per-source baseline), and the snapshot-cache
-// hit/miss paths of internal/query — timed with allocation counts and
-// written as machine-readable JSON (-benchout, BENCH_4.json by
-// default), so the effect of each PR on the hot path is tracked as
-// checked-in evidence rather than folklore. CI runs it with
-// -benchiters 1 as a smoke test; locally, higher iteration counts
-// give stable numbers.
+// against the retained per-source baseline, now including the
+// eccentricity fold), the snapshot-cache hit/miss paths of
+// internal/query, and the snapshot wire codec (encode and decode
+// throughput for the disk store and the shard fabric) — timed with
+// allocation counts and written as machine-readable JSON (-benchout,
+// BENCH_5.json by default), so the effect of each PR on the hot path
+// is tracked as checked-in evidence rather than folklore. CI runs it
+// with -benchiters 1 as a smoke test; locally, higher iteration
+// counts give stable numbers.
 //
-// BENCH_4.json methodology: generated with
+// BENCH_5.json methodology: generated with
 //
 //	GOMAXPROCS=4 go run ./cmd/experiments -exp bench -scale 2 \
-//	    -benchiters 3 -out . -benchout BENCH_4.json
+//	    -benchiters 3 -out . -benchout BENCH_5.json
 //
 // i.e. the GrQc stand-in at twice the published size (~10k vertices)
 // with multi-worker kernels enabled, so the msbfs/* rows measure the
 // batched engine in the configuration the acceptance criterion names:
 // closeness/per-source-baseline ÷ msbfs/closeness is the batching
-// speedup (≥3× required; ~5× recorded in BENCH_4.json — the word-level
-// batching, not core count, carries the win; denser graphs batch
-// better, e.g. ~9× at 5k vertices with 3·n edge attempts).
+// speedup (≥3× required; ~5× recorded since BENCH_4.json — the
+// word-level batching, not core count, carries the win; denser graphs
+// batch better, e.g. ~9× at 5k vertices with 3·n edge attempts). The
+// snapshot-codec rows time the full container — graph CSR, fields,
+// super tree — so encode ns/op over the snapshot's byte size is the
+// disk-store insert cost and the upper bound a shared cache tier pays
+// per miss.
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -43,7 +51,7 @@ import (
 var benchIters = flag.Int("benchiters", 10,
 	"iterations per kernel in -exp bench (1 = smoke run)")
 
-var benchOut = flag.String("benchout", "BENCH_4.json",
+var benchOut = flag.String("benchout", "BENCH_5.json",
 	"output file for -exp bench results (joined to -out unless absolute)")
 
 func init() {
@@ -110,6 +118,20 @@ func runBench(cfg config) error {
 	warmEngine.RegisterDataset("GrQc", g)
 	warmKey := query.Key{Dataset: "GrQc", Measure: "kcore"}
 
+	// One snapshot, encoded once, for the wire-codec kernels: encode
+	// throughput is the disk-store insert cost, decode the cold-hit and
+	// restart-index cost.
+	warmSnap, err := warmEngine.Snapshot(warmKey)
+	if err != nil {
+		return err
+	}
+	var encodedSnap bytes.Buffer
+	if err := query.EncodeSnapshot(&encodedSnap, warmSnap); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot wire size: %d bytes (%d vertices, %d edges, %d super nodes)\n",
+		encodedSnap.Len(), g.NumVertices(), g.NumEdges(), warmSnap.Terrain.Tree.Len())
+
 	ok := func(fn func()) func() error {
 		return func() error { fn(); return nil }
 	}
@@ -133,6 +155,7 @@ func runBench(cfg config) error {
 		{"harmonic/per-source-baseline", ok(func() { measures.PerSourceHarmonicCentrality(g) })},
 		{"msbfs/closeness", ok(func() { measures.ParallelClosenessCentrality(g) })},
 		{"msbfs/harmonic", ok(func() { measures.ParallelHarmonicCentrality(g) })},
+		{"msbfs/eccentricity", ok(func() { measures.ParallelEccentricity(g) })},
 		{"msbfs/closeness-1worker", ok(func() { measures.ClosenessCentrality(g) })},
 		{"msbfs/closeness+harmonic-shared", func() error {
 			if _, shared := measures.SharedDistanceFields(g, []string{"closeness", "harmonic"}, true); !shared {
@@ -157,6 +180,18 @@ func runBench(cfg config) error {
 		}},
 		{"snapshot-cache/hit", func() error {
 			_, err := warmEngine.Snapshot(warmKey)
+			return err
+		}},
+		// Snapshot wire codec: the serialization layer beneath the disk
+		// store and the shard fabric. Encode is the insert path (CSR +
+		// fields + tree into one container); decode is the cold-hit
+		// path, including CSR reconstruction, terrain re-layout, and
+		// spectrum recomputation.
+		{"snapshot-codec/encode", func() error {
+			return query.EncodeSnapshot(io.Discard, warmSnap)
+		}},
+		{"snapshot-codec/decode", func() error {
+			_, err := query.DecodeSnapshot(bytes.NewReader(encodedSnap.Bytes()))
 			return err
 		}},
 	}

@@ -35,6 +35,15 @@
 // (alpha_cut, peaks, mcc, component_of, spectrum, lci, gci) answered
 // from one consistent snapshot. See the README's "Batch query API"
 // section for request/response shapes.
+//
+// With -store-dir, snapshots persist to disk in the wire format and a
+// restarted server serves yesterday's analyses without re-running
+// them. With -shard-id and -peers, the server joins a fleet: a
+// consistent-hash ring over the snapshot key decides which node owns
+// each analysis, batch queries for non-owned keys are forwarded to the
+// owner and relayed byte-for-byte, and singleflight on the owner keeps
+// the whole fleet at one analysis per key. See the README's "Running a
+// shard fleet" section.
 package main
 
 import (
@@ -49,6 +58,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	scalarfield "repro"
 	"repro/internal/baselines"
@@ -56,6 +66,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/query"
 	"repro/internal/render"
+	"repro/internal/shard"
 	"repro/internal/terrain"
 )
 
@@ -68,14 +79,40 @@ func main() {
 		seed    = flag.Int64("seed", 42, "generation seed")
 		measure = flag.String("measure", "kcore",
 			"height measure: "+strings.Join(scalarfield.Measures(), "|"))
-		colorBy = flag.String("color", "", "optional second measure for terrain color (same basis)")
-		bins    = flag.Int("bins", 0, "simplification bins (0 = exact)")
+		colorBy  = flag.String("color", "", "optional second measure for terrain color (same basis)")
+		bins     = flag.Int("bins", 0, "simplification bins (0 = exact)")
+		storeDir = flag.String("store-dir", "",
+			"persist snapshots to this directory (served across restarts); empty = in-memory LRU")
+		shardID = flag.String("shard-id", "",
+			"this node's name in a shard fleet; requires -peers")
+		peers = flag.String("peers", "",
+			"comma-separated id=url fleet members, e.g. a=http://host1:8080,b=http://host2:8080 (must include -shard-id)")
 	)
 	flag.Parse()
-	srv, err := newServer(*input, *dataset, *scale, *seed, *measure, *colorBy, *bins)
+	srv, err := newServer(serverConfig{
+		input: *input, dataset: *dataset, scale: *scale, seed: *seed,
+		measure: *measure, colorBy: *colorBy, bins: *bins, storeDir: *storeDir,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
+	}
+	if *shardID != "" || *peers != "" {
+		peerURLs, err := parsePeers(*peers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		if _, ok := peerURLs[*shardID]; !ok {
+			fmt.Fprintf(os.Stderr, "serve: -shard-id %q is not a member of -peers\n", *shardID)
+			os.Exit(1)
+		}
+		names := make([]string, 0, len(peerURLs))
+		for name := range peerURLs {
+			names = append(names, name)
+		}
+		srv.setShard(*shardID, shard.New(names, 0), peerURLs)
+		log.Printf("shard %s in a %d-node ring", *shardID, len(names))
 	}
 	snap, err := srv.snapshot()
 	if err != nil {
@@ -85,6 +122,25 @@ func main() {
 	log.Printf("terrain viewer on http://%s/ (%s, measure=%s, %d super nodes)",
 		*addr, snap.Key.Dataset, snap.Key.Measure, snap.Terrain.Tree.Len())
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}
+
+// parsePeers parses the -peers flag: comma-separated id=url entries.
+func parsePeers(spec string) (map[string]string, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("-shard-id requires -peers")
+	}
+	peers := make(map[string]string)
+	for _, entry := range strings.Split(spec, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", entry)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate -peers id %q", id)
+		}
+		peers[id] = strings.TrimSuffix(url, "/")
+	}
+	return peers, nil
 }
 
 // server is a thin multi-dataset frontend over the query engine. Its
@@ -116,16 +172,63 @@ type server struct {
 	// to the old selection" from "the switch landed". A new switch
 	// request or a successful swap clears it.
 	bgErr string
+
+	// Shard-fleet state (nil/"" when not sharded), guarded by mu like
+	// the selection: the ring decides each batch-query key's owner, and
+	// non-owned keys are forwarded to peerURLs[owner]. Only the batch
+	// API routes; the viewer endpoints always serve the local
+	// selection.
+	shardSelf string
+	ring      *shard.Ring
+	peerURLs  map[string]string
 }
 
-func newServer(input, dataset string, scale float64, seed int64, measure, colorBy string, bins int) (*server, error) {
+// serverConfig collects newServer's startup parameters (the flags).
+type serverConfig struct {
+	input    string
+	dataset  string
+	scale    float64
+	seed     int64
+	measure  string
+	colorBy  string
+	bins     int
+	storeDir string
+	// onAnalyze is a test/metrics hook forwarded to the engine.
+	onAnalyze func(query.Key)
+}
+
+// setShard joins the server to a shard fleet: self's name, the
+// consistent-hash ring over all member names, and each member's base
+// URL. Call before serving traffic (main does; tests do too).
+func (s *server) setShard(self string, ring *shard.Ring, peerURLs map[string]string) {
+	s.mu.Lock()
+	s.shardSelf, s.ring, s.peerURLs = self, ring, peerURLs
+	s.mu.Unlock()
+}
+
+// route is the query.Handler Route hook: resolve the key's owner on
+// the ring; forward when it is another member.
+func (s *server) route(k query.Key) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.ring == nil {
+		return "", false
+	}
+	owner := s.ring.Owner(k.ShardString())
+	if owner == s.shardSelf {
+		return "", false
+	}
+	return s.peerURLs[owner], true
+}
+
+func newServer(cfg serverConfig) (*server, error) {
 	var (
 		g    *graph.Graph
 		name string
 		err  error
 	)
-	if input != "" {
-		f, err := os.Open(input)
+	if cfg.input != "" {
+		f, err := os.Open(cfg.input)
 		if err != nil {
 			return nil, err
 		}
@@ -134,18 +237,30 @@ func newServer(input, dataset string, scale float64, seed int64, measure, colorB
 		if err != nil {
 			return nil, err
 		}
-		name = input
+		name = cfg.input
 	} else {
-		g, err = datasets.Generate(dataset, scale, seed)
+		g, err = datasets.Generate(cfg.dataset, cfg.scale, cfg.seed)
 		if err != nil {
 			return nil, err
 		}
-		name = dataset
+		name = cfg.dataset
 	}
 
+	var store query.SnapshotStore
+	if cfg.storeDir != "" {
+		// Disk-backed snapshots: analyses survive restarts, at the cost
+		// of an encode per insert and a decode per cold hit.
+		store, err = query.NewDiskStore(cfg.storeDir, 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	scale, seed := cfg.scale, cfg.seed
 	s := &server{
-		bins: bins,
+		bins: cfg.bins,
 		engine: query.NewEngine(query.Options{
+			Store:     store,
+			OnAnalyze: cfg.onAnalyze,
 			// Any Table I dataset the viewer asks for later is
 			// generated on demand at the startup scale and seed. A
 			// generation error here can only be an unknown name —
@@ -160,12 +275,12 @@ func newServer(input, dataset string, scale float64, seed int64, measure, colorB
 		}),
 	}
 	s.engine.RegisterDataset(name, g)
-	s.current = query.Key{Dataset: name, Bins: bins}
+	s.current = query.Key{Dataset: name, Bins: cfg.bins}
 	s.want = s.current
 	// The raw flag value, not colorFor: a cross-basis -color is a
 	// startup error, not something to silently drop. Startup blocks on
 	// the first analysis — there is no previous snapshot to serve yet.
-	if _, err := s.setSelection(name, measure, colorBy, true, true); err != nil {
+	if _, err := s.setSelection(name, cfg.measure, cfg.colorBy, true, true); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -293,7 +408,14 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/select", s.handleSelect)
 	mux.HandleFunc("/spectrum", s.handleSpectrum)
 	mux.HandleFunc("/measure", s.handleMeasure)
-	mux.Handle("/api/v1/query", &query.Handler{Engine: s.engine, Defaults: s.currentKey})
+	mux.Handle("/api/v1/query", &query.Handler{
+		Engine: s.engine, Defaults: s.currentKey, Route: s.route,
+		// Finite but generous: an owner analyzing a big stand-in can
+		// legitimately hold a forwarded request for minutes (the viewer
+		// polls up to 10), but a hung owner must eventually trip the
+		// local fallback instead of wedging relays forever.
+		Client: &http.Client{Timeout: 15 * time.Minute},
+	})
 	return mux
 }
 

@@ -14,7 +14,7 @@ import (
 
 func testServer(t *testing.T, measure, colorBy string) *httptest.Server {
 	t.Helper()
-	srv, err := newServer("", "GrQc", 0.03, 42, measure, colorBy, 0)
+	srv, err := newServer(serverConfig{dataset: "GrQc", scale: 0.03, seed: 42, measure: measure, colorBy: colorBy})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +303,7 @@ func TestMeasureSwitchUnderConcurrentReads(t *testing.T) {
 // matter how many concurrent switches ask) swaps the selection when it
 // lands.
 func TestAsyncMeasureSwitch(t *testing.T) {
-	srv, err := newServer("", "GrQc", 0.03, 42, "kcore", "", 0)
+	srv, err := newServer(serverConfig{dataset: "GrQc", scale: 0.03, seed: 42, measure: "kcore"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,10 +375,10 @@ func TestPartialSwitchComposesWithPending(t *testing.T) {
 }
 
 func TestUnknownMeasureRejected(t *testing.T) {
-	if _, err := newServer("", "GrQc", 0.03, 42, "nonsense", "", 0); err == nil {
+	if _, err := newServer(serverConfig{dataset: "GrQc", scale: 0.03, seed: 42, measure: "nonsense"}); err == nil {
 		t.Fatal("unknown measure must be rejected")
 	}
-	if _, err := newServer("", "GrQc", 0.03, 42, "kcore", "ktruss", 0); err == nil {
+	if _, err := newServer(serverConfig{dataset: "GrQc", scale: 0.03, seed: 42, measure: "kcore", colorBy: "ktruss"}); err == nil {
 		t.Fatal("vertex height + edge color must be rejected")
 	}
 }

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomGraph(t *testing.T, rng *rand.Rand, n, attempts int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i < attempts; i++ {
+		u, v := rng.Int31n(int32(n)), rng.Int31n(int32(n))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	if !reflect.DeepEqual(a.Edges(), b.Edges()) {
+		return false
+	}
+	for v := int32(0); v < int32(a.NumVertices()); v++ {
+		if !reflect.DeepEqual(a.Neighbors(v), b.Neighbors(v)) ||
+			!reflect.DeepEqual(a.IncidentEdges(v), b.IncidentEdges(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []*Graph{
+		NewBuilder(0).Build(),
+		NewBuilder(5).Build(), // isolated vertices only
+		FromAdjacency([][]int32{{1, 2}, {0}, {0}}),
+		randomGraph(t, rng, 50, 200),
+		randomGraph(t, rng, 300, 2000),
+	}
+	for i, g := range cases {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !graphsEqual(g, got) {
+			t.Fatalf("case %d: decoded graph differs (CSR not identical)", i)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruptInput(t *testing.T) {
+	g := FromAdjacency([][]int32{{1, 2}, {0, 2}, {0, 1}})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Truncations at every boundary must error, not panic.
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+
+	// Non-canonical payloads.
+	bad := [][]Edge{
+		{{U: 1, V: 0}},           // U > V
+		{{U: 0, V: 0}},           // self loop
+		{{U: 0, V: 5}},           // out of range for n=3
+		{{U: -1, V: 1}},          // negative
+		{{U: 0, V: 2}, {0, 1}},   // unsorted
+		{{U: 0, V: 1}, {0, 1}},   // duplicate
+		{{U: 1, V: 2}, {1, 2}},   // duplicate later
+		{{U: 0, V: 1}, {-2, -1}}, // garbage after valid prefix
+	}
+	for i, edges := range bad {
+		if _, err := FromCanonicalEdges(3, edges); err == nil {
+			t.Fatalf("bad edge list %d accepted by FromCanonicalEdges", i)
+		}
+	}
+
+	// Implausible header sizes.
+	evil := []byte{255, 255, 255, 255, 255, 255, 255, 255}
+	if _, err := ReadBinary(bytes.NewReader(evil)); err == nil {
+		t.Fatal("implausible header accepted")
+	}
+}
+
+// TestFromCanonicalEdgesMatchesBuilder: the validated direct-CSR path
+// must produce a graph structurally identical to the Builder's.
+func TestFromCanonicalEdgesMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(t, rng, 80, 500)
+	edges := make([]Edge, len(g.Edges()))
+	copy(edges, g.Edges())
+	got, err := FromCanonicalEdges(g.NumVertices(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("FromCanonicalEdges differs from Builder output")
+	}
+}

@@ -211,7 +211,7 @@ func betweennessInto(g *graph.Graph, sources []int32, bc []float64, scratch *bra
 // baseline (the fold's integer sums are exact in any order); see
 // distance.go for the fold contract.
 func ClosenessCentrality(g *graph.Graph) []float64 {
-	clo, _ := msbfsFields(g, true, false, 1)
+	clo, _, _ := msbfsFields(g, true, false, false, 1)
 	return clo
 }
 
@@ -241,7 +241,7 @@ func closenessOf(dist []int32, n int) float64 {
 // retained per-source baseline up to floating-point summation order;
 // see distance.go for the fold contract.
 func HarmonicCentrality(g *graph.Graph) []float64 {
-	_, har := msbfsFields(g, false, true, 1)
+	_, har, _ := msbfsFields(g, false, true, false, 1)
 	return har
 }
 

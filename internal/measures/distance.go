@@ -16,9 +16,11 @@ import (
 // vertices first reached at depth L, for L = 1, 2, … in order. The
 // folds are
 //
-//	closeness: reach = Σ c_L, sum = Σ L·c_L (exact int64 arithmetic),
-//	           score = reach² / ((n-1)·sum), 0 when sum = 0
-//	harmonic:  Σ_L float64(c_L)/float64(L), accumulated in ascending L
+//	closeness:    reach = Σ c_L, sum = Σ L·c_L (exact int64 arithmetic),
+//	              score = reach² / ((n-1)·sum), 0 when sum = 0
+//	harmonic:     Σ_L float64(c_L)/float64(L), accumulated in ascending L
+//	eccentricity: max L with c_L > 0 (0 for isolated vertices) — the
+//	              greatest BFS depth within the source's component
 //
 // Closeness is bit-identical to the retained per-source baseline: its
 // intermediate sums are integers, exact in either accumulation order
@@ -35,10 +37,11 @@ import (
 // reset per batch, and its visit method is bound once per worker so the
 // batch loop stays allocation-free.
 type distAccum struct {
-	wantClose, wantHarm bool
-	reach               [graph.MSBFSBatch]int64
-	sumDist             [graph.MSBFSBatch]int64
-	harm                [graph.MSBFSBatch]float64
+	wantClose, wantHarm, wantEcc bool
+	reach                        [graph.MSBFSBatch]int64
+	sumDist                      [graph.MSBFSBatch]int64
+	harm                         [graph.MSBFSBatch]float64
+	ecc                          [graph.MSBFSBatch]int32
 }
 
 func (a *distAccum) reset() {
@@ -48,6 +51,9 @@ func (a *distAccum) reset() {
 	}
 	if a.wantHarm {
 		clear(a.harm[:])
+	}
+	if a.wantEcc {
+		clear(a.ecc[:])
 	}
 }
 
@@ -65,6 +71,11 @@ func (a *distAccum) visit(level int32, counts *[graph.MSBFSBatch]int32) {
 			// the fold deterministic: c/L and c·(1/L) round differently
 			// when 1/L is inexact — see the fold contract above.
 			a.harm[s] += float64(c) / float64(level)
+		}
+		if a.wantEcc {
+			// Levels arrive in ascending order, so the last level with
+			// a nonzero count is the eccentricity.
+			a.ecc[s] = level
 		}
 	}
 }
@@ -86,16 +97,18 @@ func closenessScore(reach, sumDist int64, n int) float64 {
 // scratch and one accumulator, and batches write disjoint output
 // ranges, so the sweep needs no locks and performs O(1) allocations per
 // worker once warm. Results are identical for any worker count.
-func msbfsFields(g *graph.Graph, wantClose, wantHarm bool, workers int) (clo, har []float64) {
+func msbfsFields(g *graph.Graph, wantClose, wantHarm, wantEcc bool, workers int) ([]float64, []float64, []float64) {
 	n := g.NumVertices()
-	if wantClose {
-		clo = make([]float64, n)
-	}
-	if wantHarm {
-		har = make([]float64, n)
-	}
+	// Single-assignment locals, deliberately: the run closure captures
+	// these, and escape analysis is flow-insensitive — a variable
+	// assigned anywhere after declaration is captured by reference,
+	// costing one heap cell per field. Initializing at declaration
+	// keeps the capture by value (the alloc_test budgets pin this).
+	clo := makeIf(wantClose, n)
+	har := makeIf(wantHarm, n)
+	ecc := makeIf(wantEcc, n)
 	if n == 0 {
-		return clo, har
+		return clo, har, ecc
 	}
 	numBatches := (n + graph.MSBFSBatch - 1) / graph.MSBFSBatch
 	if workers > numBatches {
@@ -107,7 +120,7 @@ func msbfsFields(g *graph.Graph, wantClose, wantHarm bool, workers int) (clo, ha
 	run := func(w int) {
 		var scratch graph.MSBFSScratch
 		var sources [graph.MSBFSBatch]int32
-		acc := distAccum{wantClose: wantClose, wantHarm: wantHarm}
+		acc := &distAccum{wantClose: wantClose, wantHarm: wantHarm, wantEcc: wantEcc}
 		visit := acc.visit
 		for b := w; b < numBatches; b += workers {
 			lo := b * graph.MSBFSBatch
@@ -128,12 +141,15 @@ func msbfsFields(g *graph.Graph, wantClose, wantHarm bool, workers int) (clo, ha
 				if wantHarm {
 					har[lo+i] = acc.harm[i]
 				}
+				if wantEcc {
+					ecc[lo+i] = float64(acc.ecc[i])
+				}
 			}
 		}
 	}
 	if workers == 1 {
 		run(0)
-		return clo, har
+		return clo, har, ecc
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -144,7 +160,15 @@ func msbfsFields(g *graph.Graph, wantClose, wantHarm bool, workers int) (clo, ha
 		}(w)
 	}
 	wg.Wait()
-	return clo, har
+	return clo, har, ecc
+}
+
+// makeIf allocates an n-value field only when it is wanted.
+func makeIf(want bool, n int) []float64 {
+	if !want {
+		return nil
+	}
+	return make([]float64, n)
 }
 
 // distanceWorkers is the shared worker policy of the MS-BFS kernels:
@@ -161,9 +185,10 @@ func distanceWorkers(g *graph.Graph, parallel bool) int {
 // names are distance-based: DistanceBased and SharedDistanceFields
 // both consult it, so adding a measure here lights up the shared-pass
 // path everywhere at once.
-var distanceMeasures = map[string]struct{ close, harm bool }{
-	"closeness": {close: true},
-	"harmonic":  {harm: true},
+var distanceMeasures = map[string]struct{ close, harm, ecc bool }{
+	"closeness":    {close: true},
+	"harmonic":     {harm: true},
+	"eccentricity": {ecc: true},
 }
 
 // DistanceBased reports whether the named registered measure is
@@ -182,7 +207,7 @@ func DistanceBased(name string) bool {
 // returned field is bit-identical to the field the registry computes
 // for that measure alone.
 func SharedDistanceFields(g *graph.Graph, names []string, parallel bool) (map[string][]float64, bool) {
-	wantClose, wantHarm := false, false
+	wantClose, wantHarm, wantEcc := false, false, false
 	for _, name := range names {
 		sel, ok := distanceMeasures[name]
 		if !ok {
@@ -190,14 +215,39 @@ func SharedDistanceFields(g *graph.Graph, names []string, parallel bool) (map[st
 		}
 		wantClose = wantClose || sel.close
 		wantHarm = wantHarm || sel.harm
+		wantEcc = wantEcc || sel.ecc
 	}
-	clo, har := msbfsFields(g, wantClose, wantHarm, distanceWorkers(g, parallel))
-	out := make(map[string][]float64, 2)
+	clo, har, ecc := msbfsFields(g, wantClose, wantHarm, wantEcc, distanceWorkers(g, parallel))
+	out := make(map[string][]float64, 3)
 	if wantClose {
 		out["closeness"] = clo
 	}
 	if wantHarm {
 		out["harmonic"] = har
 	}
+	if wantEcc {
+		out["eccentricity"] = ecc
+	}
 	return out, true
+}
+
+// Eccentricity computes, for every vertex, the greatest BFS distance
+// to any vertex of its own component (isolated vertices score 0): the
+// ROADMAP's "MS-BFS for more workloads" eccentricity item. It rides
+// the same batched traversal as closeness/harmonic — the fold just
+// keeps the last level with a nonzero count — so it costs one MS-BFS
+// sweep, not |V| BFS runs. As a height measure its peaks are the
+// periphery (graph-center analysis turned upside down); as a color
+// measure over a centrality terrain it highlights eccentric cores.
+func Eccentricity(g *graph.Graph) []float64 {
+	_, _, ecc := msbfsFields(g, false, false, true, 1)
+	return ecc
+}
+
+// ParallelEccentricity computes Eccentricity with 64-source batches
+// strided across cores. Bitwise identical for any worker count: the
+// fold writes set-determined integers.
+func ParallelEccentricity(g *graph.Graph) []float64 {
+	_, _, ecc := msbfsFields(g, false, false, true, distanceWorkers(g, true))
+	return ecc
 }

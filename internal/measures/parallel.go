@@ -94,7 +94,7 @@ func perSourceBFS(g *graph.Graph, workers int, fold func(dist []int32) float64) 
 // fixed by vertex ID and each batch's integer-exact fold is
 // independent of scheduling.
 func ParallelClosenessCentrality(g *graph.Graph) []float64 {
-	clo, _ := msbfsFields(g, true, false, distanceWorkers(g, true))
+	clo, _, _ := msbfsFields(g, true, false, false, distanceWorkers(g, true))
 	return clo
 }
 
@@ -102,7 +102,7 @@ func ParallelClosenessCentrality(g *graph.Graph) []float64 {
 // batched MS-BFS engine with 64-source batches strided across cores.
 // It agrees bitwise with HarmonicCentrality for any worker count.
 func ParallelHarmonicCentrality(g *graph.Graph) []float64 {
-	_, har := msbfsFields(g, false, true, distanceWorkers(g, true))
+	_, har, _ := msbfsFields(g, false, true, false, distanceWorkers(g, true))
 	return har
 }
 

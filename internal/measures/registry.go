@@ -153,6 +153,12 @@ func init() {
 		Compute:  HarmonicCentrality,
 		Parallel: ParallelHarmonicCentrality,
 	})
+	Register("eccentricity", Spec{
+		Kind:     Vertex,
+		Doc:      "eccentricity: max BFS distance within the vertex's component (batched MS-BFS)",
+		Compute:  Eccentricity,
+		Parallel: ParallelEccentricity,
+	})
 	Register("pagerank", Spec{
 		Kind: Vertex,
 		Doc:  "PageRank with damping 0.85",

@@ -6,8 +6,32 @@ import (
 	"sync"
 )
 
+// kvStore is the seam between the singleflight layer and snapshot
+// storage: a thread-safe get/add/evict cache. The in-memory LRU
+// (memStore) is the default; the engine's snapshot cache accepts any
+// SnapshotStore — which is exactly kvStore[Key, *Snapshot] — so the
+// same coalescing sits above an in-process LRU, a disk store, or a
+// future shared cache tier without the engine changing.
+type kvStore[K comparable, V any] interface {
+	// Get returns the cached value and whether it was present,
+	// promoting the entry in recency-based implementations.
+	Get(key K) (V, bool)
+	// Add inserts or refreshes an entry, evicting per the store's own
+	// policy. Implementations may decline to store (a failed disk
+	// write, a stale-generation guard); Add has no error to return
+	// because the computed value is already on its way to the caller —
+	// a declined insert only costs a recomputation later.
+	Add(key K, val V)
+	// Evict removes every entry whose key satisfies pred.
+	Evict(pred func(K) bool)
+	// Contains reports presence without promoting.
+	Contains(key K) bool
+	// Len reports the number of cached entries.
+	Len() int
+}
+
 // lru is a plain intrusive LRU map. Not safe for concurrent use; the
-// owning group's mutex guards it.
+// owning store's mutex guards it.
 type lru[K comparable, V any] struct {
 	max   int
 	order *list.List // front = most recently used
@@ -49,22 +73,77 @@ func (c *lru[K, V]) add(key K, val V) {
 	}
 }
 
+func (c *lru[K, V]) evict(pred func(K) bool) {
+	for key, el := range c.items {
+		if pred(key) {
+			c.order.Remove(el)
+			delete(c.items, key)
+		}
+	}
+}
+
 func (c *lru[K, V]) len() int { return c.order.Len() }
 
-// group is a cache with singleflight coalescing: Do returns the cached
-// value for key, or joins the in-flight computation for it, or — when
-// neither exists — runs compute itself. N concurrent Do calls for one
-// uncached key run compute exactly once; the other N-1 block until the
-// leader finishes and share its result. Failed computations are not
-// cached, so a transient error does not poison the key: the next Do
-// retries.
+// memStore is the mutex-guarded in-memory LRU kvStore.
+type memStore[K comparable, V any] struct {
+	mu    sync.Mutex
+	cache *lru[K, V]
+}
+
+func newMemStore[K comparable, V any](max int) *memStore[K, V] {
+	return &memStore[K, V]{cache: newLRU[K, V](max)}
+}
+
+func (s *memStore[K, V]) Get(key K) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.get(key)
+}
+
+func (s *memStore[K, V]) Add(key K, val V) {
+	s.mu.Lock()
+	s.cache.add(key, val)
+	s.mu.Unlock()
+}
+
+func (s *memStore[K, V]) Evict(pred func(K) bool) {
+	s.mu.Lock()
+	s.cache.evict(pred)
+	s.mu.Unlock()
+}
+
+func (s *memStore[K, V]) Contains(key K) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.cache.items[key]
+	return ok
+}
+
+func (s *memStore[K, V]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.len()
+}
+
+// group is singleflight coalescing above a kvStore: Do returns the
+// cached value for key, or joins the in-flight computation for it, or
+// — when neither exists — runs compute itself. N concurrent Do calls
+// for one uncached key run compute exactly once; the other N-1 block
+// until the leader finishes and share its result. Failed computations
+// are not cached, so a transient error does not poison the key: the
+// next Do retries.
+//
+// The group's own mutex guards only the flight map; the store carries
+// its own synchronization. That split is what lets a slow store (disk
+// decode on hit, disk encode on insert) serve other keys concurrently
+// instead of serializing every cache probe behind one lock.
 //
 // Evicted values are simply dropped. Values handed out earlier remain
 // valid — everything cached here is immutable — so eviction only costs
 // a recomputation on the next request.
 type group[K comparable, V any] struct {
-	mu     sync.Mutex
-	cache  *lru[K, V]
+	mu     sync.Mutex // guards flight only
+	cache  kvStore[K, V]
 	flight map[K]*flightCall[V]
 }
 
@@ -75,23 +154,35 @@ type flightCall[V any] struct {
 }
 
 func newGroup[K comparable, V any](maxEntries int) *group[K, V] {
+	return newGroupOver[K, V](newMemStore[K, V](maxEntries))
+}
+
+// newGroupOver builds the coalescing layer above a caller-supplied
+// store (the engine's pluggable SnapshotStore path).
+func newGroupOver[K comparable, V any](store kvStore[K, V]) *group[K, V] {
 	return &group[K, V]{
-		cache:  newLRU[K, V](maxEntries),
+		cache:  store,
 		flight: make(map[K]*flightCall[V]),
 	}
 }
 
 // Do implements cached singleflight as described on group.
 func (g *group[K, V]) Do(key K, compute func() (V, error)) (V, error) {
-	g.mu.Lock()
-	if v, ok := g.cache.get(key); ok {
-		g.mu.Unlock()
+	if v, ok := g.cache.Get(key); ok {
 		return v, nil
 	}
+	g.mu.Lock()
 	if c, ok := g.flight[key]; ok {
 		g.mu.Unlock()
 		<-c.done
 		return c.val, c.err
+	}
+	// Re-probe under the flight lock: a flight that completed between
+	// the first probe and here has already been removed from the map
+	// but left its result in the store.
+	if v, ok := g.cache.Get(key); ok {
+		g.mu.Unlock()
+		return v, nil
 	}
 	c := &flightCall[V]{done: make(chan struct{})}
 	g.flight[key] = c
@@ -104,11 +195,13 @@ func (g *group[K, V]) Do(key K, compute func() (V, error)) (V, error) {
 	// itself propagates on the leader's goroutine.
 	completed := false
 	defer func() {
+		if completed && c.err == nil {
+			// Store insertion happens before the flight entry is
+			// removed, so the re-probe above can never miss both.
+			g.cache.Add(key, c.val)
+		}
 		g.mu.Lock()
 		delete(g.flight, key)
-		if completed && c.err == nil {
-			g.cache.add(key, c.val)
-		}
 		g.mu.Unlock()
 		if !completed {
 			c.err = fmt.Errorf("query: computation panicked")
@@ -122,30 +215,20 @@ func (g *group[K, V]) Do(key K, compute func() (V, error)) (V, error) {
 
 // evict removes every cached entry whose key satisfies pred. In-flight
 // computations are left alone: they complete and cache their result,
-// which a subsequent evict may then remove.
+// which a subsequent evict may then remove. (The engine's snapshot
+// path closes even that window with its generation guard — see
+// Engine.Invalidate.)
 func (g *group[K, V]) evict(pred func(K) bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	for key, el := range g.cache.items {
-		if pred(key) {
-			g.cache.order.Remove(el)
-			delete(g.cache.items, key)
-		}
-	}
+	g.cache.Evict(pred)
 }
 
 // cached reports whether key currently has a cached value, without
 // promoting it.
 func (g *group[K, V]) cached(key K) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	_, ok := g.cache.items[key]
-	return ok
+	return g.cache.Contains(key)
 }
 
 // size reports the number of cached entries.
 func (g *group[K, V]) size() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.cache.len()
+	return g.cache.Len()
 }

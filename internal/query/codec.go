@@ -1,0 +1,69 @@
+package query
+
+import (
+	"io"
+
+	scalarfield "repro"
+	"repro/internal/contour"
+)
+
+// The Snapshot wire codec: thin adapters between the engine's Snapshot
+// and the public snapshot wire format (scalarfield.SaveSnapshot /
+// LoadSnapshot, magic "SFSN"). Everything a Snapshot holds either
+// travels in the container (graph, fields, tree, identity) or is a
+// deterministic function of what does (terrain layout, coloring,
+// contour spectrum — rebuilt on decode), so a decoded snapshot answers
+// every query operation byte-identically to the process that encoded
+// it. That property is what makes snapshots safe to cache on disk
+// (DiskStore) and to serve from any node of a shard fleet.
+
+// EncodeSnapshot writes s in the snapshot wire format.
+func EncodeSnapshot(w io.Writer, s *Snapshot) error {
+	return scalarfield.SaveSnapshot(w, &scalarfield.SnapshotRecord{
+		Dataset:     s.Key.Dataset,
+		Measure:     s.Key.Measure,
+		Color:       s.Key.Color,
+		Bins:        s.Key.Bins,
+		Seq:         s.Seq,
+		Edge:        s.Edge,
+		Graph:       s.Graph,
+		Values:      s.Values,
+		ColorValues: s.ColorValues,
+		Terrain:     s.Terrain,
+	})
+}
+
+// DecodeSnapshot reads a snapshot written by EncodeSnapshot,
+// reconstructing the terrain and recomputing the contour spectrum from
+// the decoded tree. Corrupt input errors; nothing panics.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	rec, err := scalarfield.LoadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		Key: Key{
+			Dataset: rec.Dataset,
+			Measure: rec.Measure,
+			Color:   rec.Color,
+			Bins:    rec.Bins,
+		},
+		Seq:         rec.Seq,
+		Graph:       rec.Graph,
+		Edge:        rec.Edge,
+		Values:      rec.Values,
+		ColorValues: rec.ColorValues,
+		Terrain:     rec.Terrain,
+		Spectrum:    contour.NewSpectrum(rec.Terrain.Tree),
+	}, nil
+}
+
+// DecodeSnapshotKey reads only the identity of a stored snapshot —
+// the cheap path DiskStore uses to index a directory at startup.
+func DecodeSnapshotKey(r io.Reader) (Key, error) {
+	rec, err := scalarfield.DecodeSnapshotMeta(r)
+	if err != nil {
+		return Key{}, err
+	}
+	return Key{Dataset: rec.Dataset, Measure: rec.Measure, Color: rec.Color, Bins: rec.Bins}, nil
+}

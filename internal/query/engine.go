@@ -2,6 +2,8 @@ package query
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -17,8 +19,16 @@ import (
 type Options struct {
 	// MaxSnapshots bounds the snapshot LRU; 0 means 16. Evicted
 	// snapshots stay valid for readers already holding them — eviction
-	// only forces the next request for that key to re-analyze.
+	// only forces the next request for that key to re-analyze. Ignored
+	// when Store is set.
 	MaxSnapshots int
+	// Store, when set, replaces the default in-memory snapshot LRU:
+	// the engine probes, inserts, and evicts snapshots through it (a
+	// DiskStore persists them across restarts). Singleflight coalescing
+	// and the invalidation-generation insert guard stay above the
+	// store, so N concurrent misses still run one analysis and a racing
+	// Invalidate still wins, whatever the backend.
+	Store SnapshotStore
 	// MaxFields bounds the LRU of raw measure fields computed for
 	// correlation operations; 0 means 64.
 	MaxFields int
@@ -62,7 +72,14 @@ type Engine struct {
 	fields *group[fieldKey, fieldEntry]
 	graphs *group[string, *graph.Graph]
 
-	seq      atomic.Uint64
+	// genMu guards gens. Invalidate bumps a dataset's generation under
+	// it; genGuardedStore.Add brackets each store insert with
+	// generation checks under it (never holding it across the insert
+	// itself), so a stale snapshot can never survive an Invalidate —
+	// see genGuardedStore for the case analysis.
+	genMu sync.Mutex
+	gens  map[string]uint64
+
 	analyses atomic.Int64
 }
 
@@ -104,16 +121,96 @@ func NewEngine(opts Options) *Engine {
 	if maxGraphs <= 0 {
 		maxGraphs = 8
 	}
-	return &Engine{
+	store := opts.Store
+	if store == nil {
+		store = NewMemorySnapshotStore(maxSnaps)
+	}
+	e := &Engine{
 		loader:     opts.Loader,
 		onAnalyze:  opts.OnAnalyze,
 		analyzer:   scalarfield.NewAnalyzer(),
 		registered: make(map[string]*graph.Graph),
 		loaded:     make(map[string]bool),
-		snaps:      newGroup[Key, *Snapshot](maxSnaps),
+		gens:       make(map[string]uint64),
 		fields:     newGroup[fieldKey, fieldEntry](maxFields),
 		graphs:     newGroup[string, *graph.Graph](maxGraphs),
 	}
+	e.snaps = newGroupOver[Key, *Snapshot](&genGuardedStore{e: e, store: store})
+	return e
+}
+
+// genGuardedStore wraps the engine's SnapshotStore with the
+// invalidation-generation insert check: a snapshot analyzed under
+// generation G is inserted only while the dataset is still at G. The
+// check-and-insert runs under genMu — the same lock Invalidate bumps
+// under — which closes the window where a completing analysis that
+// raced an Invalidate could re-insert a stale snapshot after the
+// eviction ran.
+type genGuardedStore struct {
+	e     *Engine
+	store SnapshotStore
+}
+
+func (g *genGuardedStore) Get(key Key) (*Snapshot, bool) { return g.store.Get(key) }
+func (g *genGuardedStore) Evict(pred func(Key) bool)     { g.store.Evict(pred) }
+func (g *genGuardedStore) Contains(key Key) bool         { return g.store.Contains(key) }
+func (g *genGuardedStore) Len() int                      { return g.store.Len() }
+
+func (g *genGuardedStore) Add(key Key, s *Snapshot) {
+	// The store insert itself (possibly a disk encode) runs OUTSIDE
+	// genMu, so a slow disk write never blocks Invalidate or the
+	// generation reads at analysis start. Correctness comes from the
+	// check-insert-recheck sandwich:
+	//
+	//   - Invalidate bumped before the first check: no insert.
+	//   - Invalidate bumped during the insert or before the recheck:
+	//     the recheck sees it and self-evicts the just-added entry.
+	//   - Invalidate bumped after the recheck: its own eviction runs
+	//     after the bump (program order in Invalidate), hence after our
+	//     insert, and removes the entry.
+	//
+	// Either way a stale snapshot never survives; at worst both sides
+	// evict once.
+	g.e.genMu.Lock()
+	current := g.e.gens[key.Dataset] == s.gen
+	g.e.genMu.Unlock()
+	if !current {
+		return
+	}
+	g.store.Add(key, s)
+	g.e.genMu.Lock()
+	stale := g.e.gens[key.Dataset] != s.gen
+	g.e.genMu.Unlock()
+	if stale {
+		g.store.Evict(func(k Key) bool { return k == key })
+	}
+}
+
+// generation returns the dataset's current invalidation generation.
+func (e *Engine) generation(dataset string) uint64 {
+	e.genMu.Lock()
+	defer e.genMu.Unlock()
+	return e.gens[dataset]
+}
+
+// snapshotSeq derives the deterministic analysis identity of (key,
+// generation): an FNV-1a hash, never zero so clients can treat zero as
+// "no snapshot". Determinism is what makes fleet responses and
+// disk-restored snapshots indistinguishable from locally analyzed
+// ones.
+func snapshotSeq(key Key, gen uint64) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, key.ShardString())
+	var genBytes [8]byte
+	for i := range genBytes {
+		genBytes[i] = byte(gen >> (8 * i))
+	}
+	h.Write(genBytes[:])
+	seq := h.Sum64()
+	if seq == 0 {
+		seq = 1
+	}
+	return seq
 }
 
 // RegisterDataset makes a graph queryable under the given name,
@@ -190,7 +287,18 @@ func (e *Engine) AnalysisCount() int64 { return e.analyses.Load() }
 // old snapshots are unaffected; the next request re-analyzes. This is
 // the hook a streaming updater (internal/stream) calls after mutating
 // a dataset.
+//
+// Invalidate also wins against analyses still in flight: the dataset's
+// generation is bumped before the eviction, and the insert guard
+// declines any snapshot analyzed under an older generation, so a
+// completing flight cannot re-insert a stale snapshot after its key
+// was evicted. (The flight's own waiters still receive the stale
+// result — they asked before the invalidation, same as a reader
+// already holding the old snapshot.)
 func (e *Engine) Invalidate(dataset string) {
+	e.genMu.Lock()
+	e.gens[dataset]++
+	e.genMu.Unlock()
 	e.snaps.evict(func(k Key) bool { return k.Dataset == dataset })
 	e.fields.evict(func(k fieldKey) bool { return k.dataset == dataset })
 	e.graphs.evict(func(name string) bool { return name == dataset })
@@ -247,6 +355,10 @@ func (e *Engine) analyze(key Key) (*Snapshot, error) {
 	if err := ValidateKey(key); err != nil {
 		return nil, err
 	}
+	// The generation is captured before the graph resolves: an
+	// Invalidate that lands anywhere after this point makes the
+	// resulting snapshot stale, and the insert guard will decline it.
+	gen := e.generation(key.Dataset)
 	g, err := e.Graph(key.Dataset)
 	if err != nil {
 		return nil, err
@@ -272,7 +384,8 @@ func (e *Engine) analyze(key Key) (*Snapshot, error) {
 	}
 	return &Snapshot{
 		Key:         key,
-		Seq:         e.seq.Add(1),
+		Seq:         snapshotSeq(key, gen),
+		gen:         gen,
 		Graph:       g,
 		Edge:        res.Edge,
 		Values:      res.Values,

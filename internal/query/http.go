@@ -1,9 +1,11 @@
 package query
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 
@@ -44,7 +46,28 @@ type Handler struct {
 	// Defaults supplies the key fields a request leaves unset. Nil
 	// means requests must name at least dataset and measure.
 	Defaults func() Key
+	// Route, when set, is the shard router: given the fully resolved
+	// key it returns the base URL of the peer that owns it, or ok=false
+	// when this node owns the key (or no routing applies). Owned keys
+	// are served locally; non-owned keys are forwarded to the owner
+	// over the same batch API — with the key fully pinned in the
+	// forwarded body, so the peer's own Defaults cannot reinterpret it
+	// — and the owner's response is relayed verbatim, byte for byte.
+	// Forwarded requests carry ForwardedHeader; a request that already
+	// carries it is always served locally, so a misconfigured ring
+	// (two nodes disagreeing about ownership) degrades to an extra hop,
+	// never a forwarding loop. If the owner is unreachable, the request
+	// falls back to local service: availability over single-analysis
+	// strictness.
+	Route func(Key) (peerURL string, ok bool)
+	// Client performs forwarded requests; nil means
+	// http.DefaultClient. Analyses can take minutes on large datasets,
+	// so any timeout should be generous.
+	Client *http.Client
 }
+
+// ForwardedHeader marks a request that already crossed one shard hop.
+const ForwardedHeader = "X-Scalarfield-Forwarded"
 
 // ServeHTTP answers one batch: resolve the snapshot key, get-or-build
 // the snapshot (coalesced with every concurrent request for the same
@@ -98,6 +121,17 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		key.Bins = *req.Bins
 	}
 
+	if h.Route != nil && r.Header.Get(ForwardedHeader) == "" {
+		if peer, ok := h.Route(key); ok && peer != "" {
+			if h.forward(w, peer, key, req.Ops) {
+				return
+			}
+			// Forwarding failed (owner down / unreachable): serve
+			// locally so the fleet degrades to extra analyses, not
+			// errors.
+		}
+	}
+
 	snap, err := h.Engine.Snapshot(key)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -113,4 +147,48 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("query: encoding response: %v", err)
 	}
+}
+
+// forward relays the batch to the owning peer with the key fully
+// pinned, then copies the peer's response — status, content type, body
+// — verbatim, so a client cannot tell which node analyzed. Returns
+// false (and writes nothing) when the peer could not be reached, so
+// the caller can fall back to local service; any HTTP response from
+// the peer, including an error status, counts as delivered and is
+// relayed as-is (a 400 is the client's mistake wherever it surfaces).
+func (h *Handler) forward(w http.ResponseWriter, peer string, key Key, ops []Op) bool {
+	body, err := json.Marshal(Request{
+		Dataset: key.Dataset,
+		Measure: key.Measure,
+		Color:   &key.Color,
+		Bins:    &key.Bins,
+		Ops:     ops,
+	})
+	if err != nil {
+		return false
+	}
+	req, err := http.NewRequest(http.MethodPost, peer+"/api/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, "1")
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		log.Printf("query: forwarding %v to %s failed, serving locally: %v", key, peer, err)
+		return false
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		log.Printf("query: relaying response from %s: %v", peer, err)
+	}
+	return true
 }

@@ -29,6 +29,8 @@
 package query
 
 import (
+	"fmt"
+
 	scalarfield "repro"
 	"repro/internal/contour"
 	"repro/internal/graph"
@@ -45,6 +47,15 @@ type Key struct {
 	Bins    int    `json:"bins,omitempty"`
 }
 
+// ShardString is the canonical routing and hashing form of a key: a
+// deterministic, injective flattening of its fields. The consistent-
+// hash ring (internal/shard) and the disk store's filenames both hash
+// it, so every process in a fleet maps a key to the same owner and the
+// same file name.
+func (k Key) ShardString() string {
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%d", k.Dataset, k.Measure, k.Color, k.Bins)
+}
+
 // Snapshot is one immutable analysis: every product a reader needs,
 // produced by a single pipeline run over a single graph. Snapshots are
 // never mutated after construction — handlers may hold one across an
@@ -53,10 +64,30 @@ type Key struct {
 type Snapshot struct {
 	// Key is the identity this snapshot was produced for.
 	Key Key
-	// Seq is a process-unique, monotonically increasing analysis
-	// sequence number: two Snapshots are the same analysis iff their
-	// Seqs are equal. Consistency tests key off it.
+	// Seq is the analysis identity number: a deterministic hash of the
+	// key and the dataset's invalidation generation. Processes that
+	// have seen the same invalidation history therefore agree on it —
+	// a fresh fleet's nodes, a restarted process serving disk-stored
+	// snapshots, coalesced concurrent requesters — which is what lets
+	// a forwarded query response match the owner's byte for byte.
+	// Invalidate bumps the generation, so a re-analysis after a data
+	// change gets a new Seq while a plain LRU-eviction re-analysis
+	// (same inputs, same products) keeps its old one.
+	//
+	// The generation counter itself is process-local and not
+	// persisted: a restart resets it to zero, so Seq equality is only
+	// meaningful within one invalidation lineage. After a restart that
+	// followed Invalidates, a later bump can reuse a pre-restart
+	// generation number and hence a pre-restart Seq for different
+	// data; clients correlating across restart+invalidation boundaries
+	// need an out-of-band epoch. Persisting generations is part of the
+	// shared-cache-tier follow-up (ROADMAP).
 	Seq uint64
+	// gen is the dataset invalidation generation this snapshot was
+	// analyzed under; the engine's insert guard compares it against the
+	// current generation so a completing analysis that raced an
+	// Invalidate can never re-insert a stale snapshot.
+	gen uint64
 	// Graph is the immutable dataset graph.
 	Graph *graph.Graph
 	// Edge reports whether the height measure is edge-based (fields

@@ -1,0 +1,270 @@
+package query
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// SnapshotStore is the pluggable storage tier beneath the Engine's
+// singleflight layer: a thread-safe cache of immutable Snapshots. The
+// Engine never talks to a concrete cache — it probes, inserts, and
+// evicts through this interface — so swapping the in-memory LRU for
+// the disk store (or a future shared cache tier) changes one Options
+// field, not the engine. Coalescing stays above the store: N
+// concurrent misses still run one analysis regardless of the backend.
+//
+// Contract: values are immutable once inserted; Get may return an
+// entry to any number of callers concurrently. Add may decline to
+// store (e.g. on a failed disk write) — the value is already on its
+// way to the requester, so a declined insert only costs a later
+// recomputation.
+type SnapshotStore interface {
+	Get(key Key) (*Snapshot, bool)
+	Add(key Key, s *Snapshot)
+	Evict(pred func(Key) bool)
+	Contains(key Key) bool
+	Len() int
+}
+
+// NewMemorySnapshotStore returns the default in-process store: a
+// mutex-guarded LRU of at most max snapshots (minimum 1).
+func NewMemorySnapshotStore(max int) SnapshotStore {
+	return newMemStore[Key, *Snapshot](max)
+}
+
+// DiskStore is a SnapshotStore that persists every snapshot in the
+// wire format (scalarfield.SaveSnapshot) under one directory, with an
+// LRU of decoded "open" entries in front so repeated hits on hot keys
+// do not re-decode. Inserts encode to a temp file and rename, so a
+// crash never leaves a torn snapshot behind; decode failures are
+// treated as misses and the offending file is dropped. On
+// construction the directory is scanned and indexed by each file's
+// meta section, which is what lets a restarted process serve
+// yesterday's analyses without re-running them.
+type DiskStore struct {
+	dir string
+
+	// mu guards index, open, and decoding. Encode/decode run outside
+	// it, so one key's disk traffic does not serialize other keys'
+	// probes.
+	mu    sync.Mutex
+	index map[Key]string // key -> filename (within dir)
+	open  *lru[Key, *Snapshot]
+	// decoding coalesces concurrent cold hits on one key: the engine's
+	// singleflight only covers the compute path, so without this, N
+	// simultaneous requests for a disk-indexed key would each decode
+	// the file redundantly.
+	decoding map[Key]*diskDecode
+}
+
+type diskDecode struct {
+	done chan struct{} // closed when snap/ok are final
+	snap *Snapshot
+	ok   bool
+}
+
+// DefaultOpenSnapshots is the open-entry LRU bound used when
+// NewDiskStore is given maxOpen <= 0.
+const DefaultOpenSnapshots = 8
+
+// snapExt is the snapshot file suffix.
+const snapExt = ".snap"
+
+// NewDiskStore opens (creating if needed) a snapshot directory and
+// indexes the snapshots already in it. maxOpen bounds the decoded
+// open-entry LRU (<= 0 means DefaultOpenSnapshots). Files that fail to
+// yield a meta section are skipped, not deleted: they may belong to a
+// newer format version.
+func NewDiskStore(dir string, maxOpen int) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("query: creating snapshot dir: %w", err)
+	}
+	if maxOpen <= 0 {
+		maxOpen = DefaultOpenSnapshots
+	}
+	s := &DiskStore{
+		dir:      dir,
+		index:    make(map[Key]string),
+		open:     newLRU[Key, *Snapshot](maxOpen),
+		decoding: make(map[Key]*diskDecode),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("query: scanning snapshot dir: %w", err)
+	}
+	for _, entry := range entries {
+		name := entry.Name()
+		if entry.IsDir() {
+			continue
+		}
+		// A tmp- file is a crash mid-Add (encode or rename never
+		// finished): harmless but otherwise immortal, so reap it here.
+		if strings.HasPrefix(name, "tmp-") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, snapExt) {
+			continue
+		}
+		key, err := readSnapshotFileKey(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		s.index[key] = name
+	}
+	return s, nil
+}
+
+func readSnapshotFileKey(path string) (Key, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Key{}, err
+	}
+	defer f.Close()
+	return DecodeSnapshotKey(f)
+}
+
+// Get probes the open-entry LRU, then the on-disk index, decoding on
+// an index hit. Concurrent Gets for one key coalesce on a single
+// decode. A file that no longer decodes (corruption, deletion behind
+// our back) is dropped from the index and reported as a miss.
+func (s *DiskStore) Get(key Key) (*Snapshot, bool) {
+	s.mu.Lock()
+	if snap, ok := s.open.get(key); ok {
+		s.mu.Unlock()
+		return snap, true
+	}
+	name, ok := s.index[key]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	if d, inflight := s.decoding[key]; inflight {
+		s.mu.Unlock()
+		<-d.done
+		return d.snap, d.ok
+	}
+	d := &diskDecode{done: make(chan struct{})}
+	s.decoding[key] = d
+	s.mu.Unlock()
+
+	d.snap, d.ok = s.decodeFile(key, name)
+	s.mu.Lock()
+	if d.ok {
+		s.open.add(key, d.snap)
+	}
+	delete(s.decoding, key)
+	s.mu.Unlock()
+	close(d.done)
+	return d.snap, d.ok
+}
+
+// decodeFile reads and decodes one snapshot file, verifying the
+// decoded identity: filenames are hashes, and a hash collision must
+// read as a miss, not as the wrong analysis.
+func (s *DiskStore) decodeFile(key Key, name string) (*Snapshot, bool) {
+	f, err := os.Open(filepath.Join(s.dir, name))
+	if err != nil {
+		s.drop(key, name)
+		return nil, false
+	}
+	snap, err := DecodeSnapshot(f)
+	f.Close()
+	if err != nil || snap.Key != key {
+		s.drop(key, name)
+		return nil, false
+	}
+	return snap, true
+}
+
+// drop forgets an index entry (if it still names the same file) and
+// removes the file.
+func (s *DiskStore) drop(key Key, name string) {
+	s.mu.Lock()
+	if cur, ok := s.index[key]; ok && cur == name {
+		delete(s.index, key)
+	}
+	s.mu.Unlock()
+	os.Remove(filepath.Join(s.dir, name))
+}
+
+// Add encodes the snapshot to a temp file and renames it into place.
+// On an encode or write failure the snapshot is still kept in the
+// open-entry LRU — persistence is best-effort, serving is not.
+func (s *DiskStore) Add(key Key, snap *Snapshot) {
+	name := snapshotFileName(key)
+	persisted := false
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err == nil {
+		encErr := EncodeSnapshot(tmp, snap)
+		closeErr := tmp.Close()
+		if encErr == nil && closeErr == nil &&
+			os.Rename(tmp.Name(), filepath.Join(s.dir, name)) == nil {
+			persisted = true
+		} else {
+			os.Remove(tmp.Name())
+		}
+	}
+	s.mu.Lock()
+	if persisted {
+		s.index[key] = name
+	}
+	s.open.add(key, snap)
+	s.mu.Unlock()
+}
+
+// Evict removes matching entries from the open LRU, the index, and the
+// disk.
+func (s *DiskStore) Evict(pred func(Key) bool) {
+	var victims []string
+	s.mu.Lock()
+	s.open.evict(pred)
+	for key, name := range s.index {
+		if pred(key) {
+			delete(s.index, key)
+			victims = append(victims, name)
+		}
+	}
+	s.mu.Unlock()
+	for _, name := range victims {
+		os.Remove(filepath.Join(s.dir, name))
+	}
+}
+
+// Contains reports whether the key is indexed on disk or open in
+// memory (a failed persist still serves from the open LRU).
+func (s *DiskStore) Contains(key Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; ok {
+		return true
+	}
+	_, ok := s.open.items[key]
+	return ok
+}
+
+// Len reports the number of distinct cached keys.
+func (s *DiskStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.index)
+	for key := range s.open.items {
+		if _, onDisk := s.index[key]; !onDisk {
+			n++
+		}
+	}
+	return n
+}
+
+// snapshotFileName derives a stable filename from the key's shard
+// string. Collisions are tolerated (Get verifies the decoded key), so
+// a 64-bit hash is plenty.
+func snapshotFileName(key Key) string {
+	h := fnv.New64a()
+	h.Write([]byte(key.ShardString()))
+	return fmt.Sprintf("%016x%s", h.Sum64(), snapExt)
+}

@@ -1,0 +1,345 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	scalarfield "repro"
+)
+
+// opsBatch exercises every operation family against one snapshot.
+func opsBatch() []Op {
+	return []Op{
+		{Op: OpAlphaCut, Alpha: 2},
+		{Op: OpPeaks, Alpha: 1},
+		{Op: OpMCC, Item: 0},
+		{Op: OpComponentOf, Item: 1, Alpha: 1},
+		{Op: OpSpectrum},
+		{Op: OpLCI, MeasureJ: "degree"},
+		{Op: OpGCI, MeasureI: "kcore", MeasureJ: "triangles"},
+	}
+}
+
+func resolveJSON(t *testing.T, e *Engine, snap *Snapshot) []byte {
+	t.Helper()
+	out, err := json.Marshal(Response{Snapshot: snap.Info(), Results: e.Resolve(snap, opsBatch())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSnapshotCodecServesIdenticalResults: a decoded snapshot must
+// answer the full operation vocabulary byte-identically to the
+// original — the property the disk store and the shard fleet rely on.
+func TestSnapshotCodecServesIdenticalResults(t *testing.T) {
+	for _, key := range []Key{
+		{Dataset: "tiny", Measure: "kcore", Color: "degree"},
+		{Dataset: "tiny", Measure: "ktruss"},
+		{Dataset: "tiny", Measure: "degree", Bins: 3},
+	} {
+		e := testEngine(t, Options{})
+		snap, err := e.Snapshot(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeSnapshot(&buf, snap); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if decoded.Key != key || decoded.Seq != snap.Seq || decoded.Edge != snap.Edge {
+			t.Fatalf("decoded identity %+v (seq %d) differs from %+v (seq %d)",
+				decoded.Key, decoded.Seq, key, snap.Seq)
+		}
+		if !reflect.DeepEqual(decoded.Info(), snap.Info()) {
+			t.Fatalf("decoded info %+v != %+v", decoded.Info(), snap.Info())
+		}
+		want := resolveJSON(t, e, snap)
+		got := resolveJSON(t, e, decoded)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("key %+v: decoded snapshot answers differently:\nwant %s\ngot  %s", key, want, got)
+		}
+	}
+}
+
+// TestDiskStorePersistsAcrossRestart is the acceptance criterion's
+// restart half: a second engine over the same directory serves the
+// snapshot without re-analyzing, with byte-identical query responses.
+func TestDiskStorePersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	key := Key{Dataset: "tiny", Measure: "kcore", Color: "degree"}
+
+	store1, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := NewEngine(Options{Store: store1})
+	e1.RegisterDataset("tiny", testGraph())
+	snap1, err := e1.Snapshot(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e1.AnalysisCount(); got != 1 {
+		t.Fatalf("first engine ran %d analyses, want 1", got)
+	}
+	want := resolveJSON(t, e1, snap1)
+
+	// "Restart": fresh store over the same directory, fresh engine.
+	store2, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !store2.Contains(key) {
+		t.Fatal("restarted store does not index the persisted snapshot")
+	}
+	e2 := NewEngine(Options{Store: store2})
+	e2.RegisterDataset("tiny", testGraph())
+	snap2, err := e2.Snapshot(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.AnalysisCount(); got != 0 {
+		t.Fatalf("restarted engine re-analyzed (%d analyses), want 0 (disk hit)", got)
+	}
+	if snap2.Seq != snap1.Seq {
+		t.Fatalf("restored snapshot seq %d != original %d", snap2.Seq, snap1.Seq)
+	}
+	got := resolveJSON(t, e2, snap2)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("disk-restored snapshot answers differently:\nwant %s\ngot  %s", want, got)
+	}
+
+	// A second hit comes from the open-entry LRU: same pointer.
+	snap3, err := e2.Snapshot(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap3 != snap2 {
+		t.Fatal("second disk-store hit did not reuse the open entry")
+	}
+}
+
+// TestDiskStoreColdHitsCoalesce: concurrent Gets for a disk-indexed
+// key must share one decode — every caller receives the same snapshot
+// pointer, which only the coalesced path can produce.
+func TestDiskStoreColdHitsCoalesce(t *testing.T) {
+	dir := t.TempDir()
+	store1, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(Options{Store: store1})
+	e.RegisterDataset("tiny", testGraph())
+	key := Key{Dataset: "tiny", Measure: "kcore"}
+	if _, err := e.Snapshot(key); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh store over the same dir: the key is indexed but cold.
+	store2, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	snaps := make([]*Snapshot, workers)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start.Wait()
+			snap, ok := store2.Get(key)
+			if !ok {
+				t.Error("cold Get missed an indexed key")
+				return
+			}
+			snaps[w] = snap
+		}(w)
+	}
+	start.Done()
+	wg.Wait()
+	for w, snap := range snaps {
+		if snap != snaps[0] {
+			t.Fatalf("worker %d decoded its own copy — cold hits did not coalesce", w)
+		}
+	}
+}
+
+// TestDiskStoreReapsTempFiles: a crash mid-Add leaves a tmp- file; the
+// next startup scan must remove it.
+func TestDiskStoreReapsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tmp-crashed"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDiskStore(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tmp-crashed")); !os.IsNotExist(err) {
+		t.Fatal("startup scan did not reap the orphaned tmp- file")
+	}
+}
+
+// TestDiskStoreEvictRemovesFiles: Invalidate through a disk store must
+// remove the persisted files, so a restart cannot resurrect stale
+// snapshots.
+func TestDiskStoreEvictRemovesFiles(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(Options{Store: store})
+	e.RegisterDataset("tiny", testGraph())
+	key := Key{Dataset: "tiny", Measure: "kcore"}
+	if _, err := e.Snapshot(key); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*"+snapExt))
+	if len(files) != 1 {
+		t.Fatalf("%d snapshot files after one analysis, want 1", len(files))
+	}
+	e.Invalidate("tiny")
+	if store.Contains(key) || store.Len() != 0 {
+		t.Fatal("store still contains the key after Invalidate")
+	}
+	files, _ = filepath.Glob(filepath.Join(dir, "*"+snapExt))
+	if len(files) != 0 {
+		t.Fatalf("%d snapshot files survived Invalidate, want 0", len(files))
+	}
+}
+
+// TestDiskStoreCorruptFileIsAMiss: a torn or corrupt snapshot file
+// must read as a cache miss (and be dropped), never as an error or a
+// wrong answer.
+func TestDiskStoreCorruptFileIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(Options{Store: store})
+	e.RegisterDataset("tiny", testGraph())
+	key := Key{Dataset: "tiny", Measure: "kcore"}
+	if _, err := e.Snapshot(key); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the file behind the store's back and drop the open
+	// entry by pushing other keys through the small LRU.
+	files, _ := filepath.Glob(filepath.Join(dir, "*"+snapExt))
+	if len(files) != 1 {
+		t.Fatalf("%d files, want 1", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store.mu.Lock()
+	store.open.evict(func(Key) bool { return true })
+	store.mu.Unlock()
+
+	if _, ok := store.Get(key); ok {
+		t.Fatal("corrupt snapshot file served as a hit")
+	}
+	if _, err := os.Stat(files[0]); !os.IsNotExist(err) {
+		t.Fatal("corrupt snapshot file was not dropped")
+	}
+	// The engine transparently re-analyzes.
+	if _, err := e.Snapshot(key); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.AnalysisCount(); got != 2 {
+		t.Fatalf("%d analyses after corrupt-file miss, want 2", got)
+	}
+}
+
+// blockingMeasure is registered once for the invalidation-race test:
+// it parks inside the analysis until the test releases the gate, and
+// reports when an analysis has entered the measure.
+var (
+	blockGate    = make(chan struct{})
+	blockEntered = make(chan struct{}, 8)
+	blockOnce    sync.Once
+)
+
+func registerBlockingMeasure() {
+	blockOnce.Do(func() {
+		scalarfield.RegisterMeasure("test-blocking", false,
+			"test-only: blocks until the race test releases it",
+			func(g *scalarfield.Graph) []float64 {
+				select {
+				case blockEntered <- struct{}{}:
+				default:
+				}
+				<-blockGate
+				vals := make([]float64, g.NumVertices())
+				for v := range vals {
+					vals[v] = float64(g.Degree(int32(v)))
+				}
+				return vals
+			})
+	})
+}
+
+// TestInvalidateRacingInFlightAnalysis is the satellite regression: an
+// Invalidate that lands while an analysis is in flight must prevent
+// the completing flight from re-inserting its (now stale) snapshot.
+// Run under -race in CI.
+func TestInvalidateRacingInFlightAnalysis(t *testing.T) {
+	registerBlockingMeasure()
+	e := testEngine(t, Options{})
+	key := Key{Dataset: "tiny", Measure: "test-blocking"}
+
+	type result struct {
+		snap *Snapshot
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		snap, err := e.Snapshot(key)
+		done <- result{snap, err}
+	}()
+
+	<-blockEntered       // the analysis is inside the measure now
+	e.Invalidate("tiny") // race: invalidation lands mid-flight
+	close(blockGate)     // let the analysis complete
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	// The flight's waiter gets its (stale) snapshot — it asked before
+	// the invalidation — but the cache must NOT have kept it.
+	if e.Cached(key) {
+		t.Fatal("stale snapshot was re-inserted after Invalidate")
+	}
+
+	// The next request re-analyzes under the new generation and caches.
+	snap2, err := e.Snapshot(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.AnalysisCount(); got != 2 {
+		t.Fatalf("%d analyses, want 2 (stale flight + re-analysis)", got)
+	}
+	if snap2.Seq == r.snap.Seq {
+		t.Fatal("re-analysis after Invalidate kept the stale Seq")
+	}
+	if !e.Cached(key) {
+		t.Fatal("fresh snapshot was not cached")
+	}
+}

@@ -1,0 +1,118 @@
+// Package shard maps snapshot keys to the nodes of an analysis fleet
+// with a consistent-hash ring.
+//
+// The ROADMAP's sharding design treats the snapshot key (dataset,
+// measure, color, bins) as the unit of placement: every key has
+// exactly one owner node, every node can compute the owner locally
+// from nothing but the member list, and adding or removing one node
+// moves only ~1/N of the keys (the classic consistent-hashing
+// property) instead of reshuffling everything. Virtual nodes smooth
+// the distribution: each member hashes to many points on the ring, so
+// the arc a member owns is the union of many small arcs rather than
+// one lottery-sized one.
+//
+// The ring is deterministic across processes — FNV-1a over the member
+// name and virtual-node index, ties broken by name — which is the
+// whole point: two fleet nodes given the same member list agree on
+// every key's owner without talking to each other.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-member virtual-node count used when
+// New is given vnodes <= 0. 64 points per member keeps the maximum
+// member load within a few percent of the mean for small fleets.
+const DefaultVirtualNodes = 64
+
+// Ring is an immutable consistent-hash ring over a set of member
+// names. Construct with New; all methods are safe for concurrent use.
+type Ring struct {
+	members []string
+	points  []point // sorted by (hash, member)
+}
+
+type point struct {
+	hash   uint64
+	member string
+}
+
+// New builds a ring over the given member names with vnodes virtual
+// nodes per member (<= 0 means DefaultVirtualNodes). Duplicate names
+// collapse to one member. An empty member list yields a ring whose
+// Owner is always "".
+func New(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		members: uniq,
+		points:  make([]point, 0, len(uniq)*vnodes),
+	}
+	for _, m := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s\x00%d", m, i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by name so every process
+		// sorts identically.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the sorted member names.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Owner returns the member owning key: the first ring point at or
+// after the key's hash, wrapping around. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. FNV-1a alone avalanches poorly on
+// the short, similar strings ring points are built from (member name +
+// small index), which skews arc lengths badly — a 4-member ring
+// measured 61%/6% member shares without it. The finalizer decorrelates
+// the low entropy into uniform ring positions; it is fixed forever,
+// since changing it would remap every key in a deployed fleet.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

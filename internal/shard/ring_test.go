@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOwnerIsDeterministicAndMemberOrderInsensitive(t *testing.T) {
+	a := New([]string{"alpha", "beta", "gamma"}, 0)
+	b := New([]string{"gamma", "alpha", "beta", "alpha"}, 0) // shuffled + dup
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner differs with member order (%q vs %q)",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+	// Rebuilding the identical ring agrees point for point: the
+	// cross-process determinism the fleet depends on.
+	c := New([]string{"alpha", "beta", "gamma"}, 0)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("other-%d", i)
+		if a.Owner(key) != c.Owner(key) {
+			t.Fatalf("key %q: owner not deterministic across ring builds", key)
+		}
+	}
+}
+
+func TestDistributionIsRoughlyBalanced(t *testing.T) {
+	r := New([]string{"a", "b", "c", "d"}, 0)
+	counts := map[string]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for m, c := range counts {
+		share := float64(c) / n
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of keys — ring badly unbalanced: %v",
+				m, 100*share, counts)
+		}
+	}
+}
+
+// TestRemovalMovesOnlyTheRemovedMembersKeys: consistent hashing's
+// defining property — keys owned by surviving members must not move
+// when another member leaves.
+func TestRemovalMovesOnlyTheRemovedMembersKeys(t *testing.T) {
+	full := New([]string{"a", "b", "c", "d"}, 0)
+	without := New([]string{"a", "b", "c"}, 0)
+	moved := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was, is := full.Owner(key), without.Owner(key)
+		if was != "d" && was != is {
+			t.Fatalf("key %q moved from surviving member %q to %q", key, was, is)
+		}
+		if was == "d" {
+			moved++
+		}
+	}
+	if moved == 0 || moved > n/2 {
+		t.Fatalf("%d/%d keys owned by the removed member — implausible", moved, n)
+	}
+}
+
+func TestDegenerateRings(t *testing.T) {
+	if got := New(nil, 0).Owner("x"); got != "" {
+		t.Fatalf("empty ring owner %q, want \"\"", got)
+	}
+	solo := New([]string{"only"}, 0)
+	for i := 0; i < 100; i++ {
+		if got := solo.Owner(fmt.Sprintf("k%d", i)); got != "only" {
+			t.Fatalf("single-member ring returned %q", got)
+		}
+	}
+	if got := New([]string{"x"}, 1).Owner("wrap-around-check"); got != "x" {
+		t.Fatalf("1-vnode ring returned %q", got)
+	}
+}

@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestContainerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "TST1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Payload
+	a.PutString("hello")
+	a.PutUint64(42)
+	a.PutBool(true)
+	a.PutFloat64(math.Pi)
+	a.PutInt64(-7)
+	if err := w.Section("aaaa", a.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	var b Payload
+	b.PutFloat64s([]float64{1, 2.5, math.Inf(1), math.NaN()})
+	b.PutInt32s([]int32{-1, 0, 1 << 30})
+	if err := w.Section("bbbb", b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Section("empt", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), "TST1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version != 3 {
+		t.Fatalf("version %d, want 3", r.Version)
+	}
+
+	tag, p, err := r.Next()
+	if err != nil || tag != "aaaa" {
+		t.Fatalf("first section %q, %v", tag, err)
+	}
+	if s, err := p.String(); err != nil || s != "hello" {
+		t.Fatalf("string %q, %v", s, err)
+	}
+	if v, err := p.Uint64(); err != nil || v != 42 {
+		t.Fatalf("uint64 %d, %v", v, err)
+	}
+	if v, err := p.Bool(); err != nil || !v {
+		t.Fatalf("bool %v, %v", v, err)
+	}
+	if v, err := p.Float64(); err != nil || v != math.Pi {
+		t.Fatalf("float64 %v, %v", v, err)
+	}
+	if v, err := p.Int64(); err != nil || v != -7 {
+		t.Fatalf("int64 %d, %v", v, err)
+	}
+	if p.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", p.Remaining())
+	}
+
+	tag, p, err = r.Next()
+	if err != nil || tag != "bbbb" {
+		t.Fatalf("second section %q, %v", tag, err)
+	}
+	fs, err := p.Float64s()
+	if err != nil || len(fs) != 4 || fs[1] != 2.5 || !math.IsInf(fs[2], 1) || !math.IsNaN(fs[3]) {
+		t.Fatalf("float64s %v, %v", fs, err)
+	}
+	is, err := p.Int32s()
+	if err != nil || !reflect.DeepEqual(is, []int32{-1, 0, 1 << 30}) {
+		t.Fatalf("int32s %v, %v", is, err)
+	}
+
+	tag, p, err = r.Next()
+	if err != nil || tag != "empt" || p.Remaining() != 0 {
+		t.Fatalf("empty section %q (%d bytes), %v", tag, p.Remaining(), err)
+	}
+
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after last section got %v, want io.EOF", err)
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "GOOD", 1)
+	w.Section("sect", []byte{1})
+	w.Flush()
+
+	if _, err := NewReader(bytes.NewReader(buf.Bytes()), "EVIL", 1); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(buf.Bytes()), "GOOD", 0); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := NewReader(strings.NewReader("GO"), "GOOD", 1); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+}
+
+// TestTruncationIsAnErrorNotEOF: a container cut mid-section must
+// surface as an error distinct from the clean end-of-sections EOF.
+func TestTruncationIsAnErrorNotEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "TST1", 1)
+	var p Payload
+	p.PutFloat64s(make([]float64, 100))
+	w.Section("data", p.Bytes())
+	w.Flush()
+	full := buf.Bytes()
+
+	for _, cut := range []int{len(full) - 1, len(full) - 100, 7, 9, 13} {
+		r, err := NewReader(bytes.NewReader(full[:cut]), "TST1", 1)
+		if err != nil {
+			continue // header itself truncated: also fine
+		}
+		_, _, err = r.Next()
+		if err == nil || err == io.EOF {
+			t.Fatalf("truncation at %d bytes returned %v, want a real error", cut, err)
+		}
+	}
+}
+
+// TestHostileCountsDoNotBalloon: declared lengths and element counts
+// far beyond the actual data must error without huge allocations.
+func TestHostileCountsDoNotBalloon(t *testing.T) {
+	// Section declaring a petabyte payload with 4 actual bytes.
+	evil := append([]byte("TST1\x01sect"), []byte{0, 0, 0, 0, 0, 0, 4, 0}...) // 2^50 LE
+	evil = append(evil, 1, 2, 3, 4)
+	r, err := NewReader(bytes.NewReader(evil), "TST1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err == nil {
+		t.Fatal("petabyte section length accepted")
+	}
+
+	// In-payload count exceeding the payload.
+	var p Payload
+	p.PutUint64(1 << 40) // claims 2^40 float64s
+	p.PutFloat64(1)
+	if _, err := p.Float64s(); err == nil {
+		t.Fatal("overlong float64 count accepted")
+	}
+	var q Payload
+	q.PutUint64(1 << 40)
+	if _, err := q.Int32s(); err == nil {
+		t.Fatal("overlong int32 count accepted")
+	}
+}
+
+func TestStringLengthValidated(t *testing.T) {
+	var p Payload
+	p.PutUint64(0) // reuse as a bogus 4-byte length prefix + few bytes
+	p.off = 0
+	p.data = []byte{255, 255, 255, 255, 'x'}
+	if _, err := p.String(); err == nil {
+		t.Fatal("overlong string length accepted")
+	}
+}

@@ -1,0 +1,309 @@
+package scalarfield
+
+// The snapshot wire format: one versioned binary container holding
+// every product of an analysis run — the CSR graph, the raw height
+// (and optional color) field, and the super scalar tree — in
+// length-prefixed sections, so the whole immutable bundle the query
+// layer serves from can leave the process: cached on disk, shipped to
+// a peer shard, reloaded after a restart. The paper frames the entire
+// pipeline as derived, immutable artifacts of a scalar graph; this
+// file is that property made portable.
+//
+// Container layout (internal/wire framing, magic "SFSN", version 1):
+//
+//	meta — dataset, measure, color, bins, seq, edge basis
+//	layo — terrain layout options (margin, min share, strategy)
+//	grph — the CSR graph (internal/graph binary codec)
+//	hght — raw height field, one f64 per vertex or edge
+//	colr — raw color field (present only when colored)
+//	tree — the super scalar tree (internal/core codec, reused as-is)
+//
+// Unknown sections are skipped on decode, so future writers can append
+// fields without breaking old readers. The terrain layout and the
+// contour spectrum are NOT stored: both are deterministic functions of
+// the tree (and layout options), so LoadSnapshot rebuilds them exactly
+// as the original analysis did — a decoded snapshot answers every
+// query byte-identically to the process that produced it, at a
+// fraction of the bytes.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/terrain"
+	"repro/internal/wire"
+)
+
+const (
+	snapshotMagic   = "SFSN"
+	snapshotVersion = 1
+)
+
+// SnapshotRecord is the unit SaveSnapshot writes and LoadSnapshot
+// returns: one analysis — identity, inputs, and products — flattened
+// to the public API's types. The query engine's Snapshot converts to
+// and from it; library users can persist their own analyses with it
+// directly.
+type SnapshotRecord struct {
+	// Dataset, Measure, Color, Bins identify the analysis (the query
+	// layer's snapshot key, flattened).
+	Dataset string
+	Measure string
+	Color   string
+	Bins    int
+	// Seq is the analysis identity number the producing engine
+	// assigned; it round-trips verbatim.
+	Seq uint64
+	// Edge reports whether the fields index edges rather than vertices.
+	Edge bool
+	// Graph is the analyzed graph.
+	Graph *Graph
+	// Values is the raw height field; ColorValues the raw color field
+	// when Color is set, nil otherwise.
+	Values      []float64
+	ColorValues []float64
+	// Layout holds the layout options the terrain was built with, so
+	// reconstruction matches the original. The zero value (the engine's
+	// default) round-trips as zero.
+	Layout terrain.LayoutOptions
+	// Terrain is the laid-out, colored terrain. SaveSnapshot reads only
+	// its tree; LoadSnapshot reconstructs it deterministically from the
+	// decoded tree, Layout, and color field.
+	Terrain *Terrain
+}
+
+// SaveSnapshot writes one analysis in the snapshot wire format above.
+func SaveSnapshot(w io.Writer, rec *SnapshotRecord) error {
+	if rec.Graph == nil || rec.Terrain == nil || rec.Terrain.Tree == nil {
+		return fmt.Errorf("scalarfield: SaveSnapshot needs a graph and a terrain with a tree")
+	}
+	ww, err := wire.NewWriter(w, snapshotMagic, snapshotVersion)
+	if err != nil {
+		return err
+	}
+
+	var meta wire.Payload
+	meta.PutString(rec.Dataset)
+	meta.PutString(rec.Measure)
+	meta.PutString(rec.Color)
+	meta.PutInt64(int64(rec.Bins))
+	meta.PutUint64(rec.Seq)
+	meta.PutBool(rec.Edge)
+	if err := ww.Section("meta", meta.Bytes()); err != nil {
+		return err
+	}
+
+	var layo wire.Payload
+	layo.PutFloat64(rec.Layout.Margin)
+	layo.PutFloat64(rec.Layout.MinShare)
+	layo.PutInt64(int64(rec.Layout.Strategy))
+	if err := ww.Section("layo", layo.Bytes()); err != nil {
+		return err
+	}
+
+	var gp payloadWriter
+	if err := graph.WriteBinary(&gp, rec.Graph); err != nil {
+		return err
+	}
+	if err := ww.Section("grph", gp.p.Bytes()); err != nil {
+		return err
+	}
+
+	var hght wire.Payload
+	hght.PutFloat64s(rec.Values)
+	if err := ww.Section("hght", hght.Bytes()); err != nil {
+		return err
+	}
+	if rec.ColorValues != nil {
+		var colr wire.Payload
+		colr.PutFloat64s(rec.ColorValues)
+		if err := ww.Section("colr", colr.Bytes()); err != nil {
+			return err
+		}
+	}
+
+	var tp payloadWriter
+	if _, err := rec.Terrain.Tree.WriteTo(&tp); err != nil {
+		return err
+	}
+	if err := ww.Section("tree", tp.p.Bytes()); err != nil {
+		return err
+	}
+	return ww.Flush()
+}
+
+// payloadWriter adapts a wire.Payload to io.Writer for the nested
+// graph and tree codecs.
+type payloadWriter struct{ p wire.Payload }
+
+func (w *payloadWriter) Write(b []byte) (int, error) {
+	w.p.PutBytes(b)
+	return len(b), nil
+}
+
+// LoadSnapshot decodes a snapshot written by SaveSnapshot and
+// reconstructs its terrain: layout from the tree and the stored layout
+// options, coloring from the stored color field (or the tree's own
+// heights when uncolored) — exactly the construction the original
+// analysis ran, so every derived product matches it. Corrupt or
+// truncated input returns an error; nothing panics. Cross-field
+// consistency (field lengths vs graph size vs tree items, tree
+// validity) is verified before anything is returned.
+func LoadSnapshot(r io.Reader) (*SnapshotRecord, error) {
+	wr, err := wire.NewReader(r, snapshotMagic, snapshotVersion)
+	if err != nil {
+		return nil, err
+	}
+	rec := &SnapshotRecord{}
+	var tree *core.SuperTree
+	var haveMeta, haveValues bool
+	for {
+		tag, payload, err := wr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case "meta":
+			if err := decodeSnapshotMeta(payload, rec); err != nil {
+				return nil, err
+			}
+			haveMeta = true
+		case "layo":
+			if rec.Layout.Margin, err = payload.Float64(); err != nil {
+				return nil, fmt.Errorf("scalarfield: snapshot layo section: %w", err)
+			}
+			if rec.Layout.MinShare, err = payload.Float64(); err != nil {
+				return nil, fmt.Errorf("scalarfield: snapshot layo section: %w", err)
+			}
+			strategy, err := payload.Int64()
+			if err != nil {
+				return nil, fmt.Errorf("scalarfield: snapshot layo section: %w", err)
+			}
+			rec.Layout.Strategy = terrain.Strategy(strategy)
+		case "grph":
+			if rec.Graph, err = graph.ReadBinary(payload.Reader()); err != nil {
+				return nil, fmt.Errorf("scalarfield: snapshot graph section: %w", err)
+			}
+		case "hght":
+			if rec.Values, err = payload.Float64s(); err != nil {
+				return nil, fmt.Errorf("scalarfield: snapshot height section: %w", err)
+			}
+			haveValues = true
+		case "colr":
+			if rec.ColorValues, err = payload.Float64s(); err != nil {
+				return nil, fmt.Errorf("scalarfield: snapshot color section: %w", err)
+			}
+		case "tree":
+			if tree, err = core.ReadSuperTree(payload.Reader()); err != nil {
+				return nil, fmt.Errorf("scalarfield: snapshot tree section: %w", err)
+			}
+		default:
+			// Unknown section: skip. This is the appended-field
+			// compatibility path.
+		}
+	}
+	switch {
+	case !haveMeta:
+		return nil, fmt.Errorf("scalarfield: snapshot missing meta section")
+	case rec.Graph == nil:
+		return nil, fmt.Errorf("scalarfield: snapshot missing graph section")
+	case !haveValues:
+		return nil, fmt.Errorf("scalarfield: snapshot missing height section")
+	case tree == nil:
+		return nil, fmt.Errorf("scalarfield: snapshot missing tree section")
+	}
+
+	items := rec.Graph.NumVertices()
+	if rec.Edge {
+		items = rec.Graph.NumEdges()
+	}
+	if len(rec.Values) != items {
+		return nil, fmt.Errorf("scalarfield: snapshot height field has %d values for %d items", len(rec.Values), items)
+	}
+	if rec.ColorValues != nil && len(rec.ColorValues) != items {
+		return nil, fmt.Errorf("scalarfield: snapshot color field has %d values for %d items", len(rec.ColorValues), items)
+	}
+	if tree.NumItems() != items {
+		return nil, fmt.Errorf("scalarfield: snapshot tree spans %d items for a %d-item field", tree.NumItems(), items)
+	}
+
+	// Reconstruct the terrain exactly as the analyzer built it:
+	// NewTerrainFromTree validates the tree, lays it out with the stored
+	// options, and colors by the tree's own heights; a stored color
+	// field then recolors, mirroring AnalyzeAll's ColorBy path.
+	t, err := NewTerrainFromTree(tree, TerrainOptions{Layout: rec.Layout})
+	if err != nil {
+		return nil, fmt.Errorf("scalarfield: snapshot terrain reconstruction: %w", err)
+	}
+	if rec.Color != "" && rec.ColorValues != nil {
+		if err := t.ColorByValues(rec.ColorValues); err != nil {
+			return nil, fmt.Errorf("scalarfield: snapshot terrain recoloring: %w", err)
+		}
+	}
+	rec.Terrain = t
+	return rec, nil
+}
+
+func decodeSnapshotMeta(p *wire.Payload, rec *SnapshotRecord) error {
+	var err error
+	fail := func(e error) error {
+		return fmt.Errorf("scalarfield: snapshot meta section: %w", e)
+	}
+	if rec.Dataset, err = p.String(); err != nil {
+		return fail(err)
+	}
+	if rec.Measure, err = p.String(); err != nil {
+		return fail(err)
+	}
+	if rec.Color, err = p.String(); err != nil {
+		return fail(err)
+	}
+	bins, err := p.Int64()
+	if err != nil {
+		return fail(err)
+	}
+	if bins < 0 || bins > 1<<30 {
+		return fail(fmt.Errorf("implausible bins %d", bins))
+	}
+	rec.Bins = int(bins)
+	if rec.Seq, err = p.Uint64(); err != nil {
+		return fail(err)
+	}
+	if rec.Edge, err = p.Bool(); err != nil {
+		return fail(err)
+	}
+	return nil
+}
+
+// DecodeSnapshotMeta reads only the identity block of a stored
+// snapshot — dataset, measure, color, bins, seq, edge basis — without
+// decoding the graph, fields, or tree. Disk-backed snapshot stores use
+// it to index a directory of snapshot files cheaply at startup.
+func DecodeSnapshotMeta(r io.Reader) (*SnapshotRecord, error) {
+	wr, err := wire.NewReader(r, snapshotMagic, snapshotVersion)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tag, payload, err := wr.Next()
+		if err == io.EOF {
+			return nil, fmt.Errorf("scalarfield: snapshot missing meta section")
+		}
+		if err != nil {
+			return nil, err
+		}
+		if tag != "meta" {
+			continue
+		}
+		rec := &SnapshotRecord{}
+		if err := decodeSnapshotMeta(payload, rec); err != nil {
+			return nil, err
+		}
+		return rec, nil
+	}
+}

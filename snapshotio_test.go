@@ -1,0 +1,213 @@
+package scalarfield
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randomSnapshotRecord(t testing.TB, seed int64, n, attempts int, edgeBased, colored bool) *SnapshotRecord {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < attempts; i++ {
+		u, v := rng.Int31n(int32(n)), rng.Int31n(int32(n))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	items := g.NumVertices()
+	if edgeBased {
+		items = g.NumEdges()
+		if items == 0 {
+			// Algorithm 3 needs at least one edge; fall back to a path.
+			b.AddEdge(0, 1)
+			g = b.Build()
+			items = g.NumEdges()
+		}
+	}
+	values := make([]float64, items)
+	for i := range values {
+		values[i] = float64(rng.Intn(8)) // ties exercise super-node merging
+	}
+	var colorValues []float64
+	if colored {
+		colorValues = make([]float64, items)
+		for i := range colorValues {
+			colorValues[i] = rng.Float64()
+		}
+	}
+
+	var terr *Terrain
+	var err error
+	if edgeBased {
+		terr, err = NewEdgeTerrain(g, values)
+	} else {
+		terr, err = NewVertexTerrain(g, values)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &SnapshotRecord{
+		Dataset: "fuzz-ds",
+		Measure: "fuzz-m",
+		Bins:    int(rng.Intn(4)),
+		Seq:     rng.Uint64(),
+		Edge:    edgeBased,
+		Graph:   g,
+		Values:  values,
+		Terrain: terr,
+	}
+	if colored {
+		rec.Color = "fuzz-c"
+		rec.ColorValues = colorValues
+		if err := terr.ColorByValues(colorValues); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rec
+}
+
+func assertRecordsDeepEqual(t testing.TB, want, got *SnapshotRecord) {
+	t.Helper()
+	if got.Dataset != want.Dataset || got.Measure != want.Measure ||
+		got.Color != want.Color || got.Bins != want.Bins ||
+		got.Seq != want.Seq || got.Edge != want.Edge {
+		t.Fatalf("meta mismatch: got %+v", got)
+	}
+	if got.Graph.NumVertices() != want.Graph.NumVertices() ||
+		!reflect.DeepEqual(got.Graph.Edges(), want.Graph.Edges()) {
+		t.Fatal("graph mismatch after round trip")
+	}
+	if !reflect.DeepEqual(got.Values, want.Values) {
+		t.Fatal("height field mismatch after round trip")
+	}
+	if !reflect.DeepEqual(got.ColorValues, want.ColorValues) {
+		t.Fatal("color field mismatch after round trip")
+	}
+	wt, gt := want.Terrain, got.Terrain
+	if !reflect.DeepEqual(gt.Tree.Parent, wt.Tree.Parent) ||
+		!reflect.DeepEqual(gt.Tree.Scalar, wt.Tree.Scalar) ||
+		!reflect.DeepEqual(gt.Tree.NodeOf, wt.Tree.NodeOf) ||
+		!reflect.DeepEqual(gt.Tree.Members, wt.Tree.Members) {
+		t.Fatal("super tree mismatch after round trip")
+	}
+	if !reflect.DeepEqual(gt.Layout, wt.Layout) {
+		t.Fatal("reconstructed layout differs from original")
+	}
+	if !reflect.DeepEqual(gt.nodeColors, wt.nodeColors) {
+		t.Fatal("reconstructed coloring differs from original")
+	}
+}
+
+func encodeRecord(t testing.TB, rec *SnapshotRecord) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name               string
+		edgeBased, colored bool
+	}{
+		{"vertex", false, false},
+		{"vertex-colored", false, true},
+		{"edge", true, false},
+		{"edge-colored", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := randomSnapshotRecord(t, 42, 60, 240, tc.edgeBased, tc.colored)
+			got, err := LoadSnapshot(bytes.NewReader(encodeRecord(t, rec)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertRecordsDeepEqual(t, rec, got)
+		})
+	}
+}
+
+// TestSnapshotMetaOnlyDecode: DecodeSnapshotMeta must read the
+// identity block without needing (or validating) the heavy sections.
+func TestSnapshotMetaOnlyDecode(t *testing.T) {
+	rec := randomSnapshotRecord(t, 3, 30, 90, false, true)
+	meta, err := DecodeSnapshotMeta(bytes.NewReader(encodeRecord(t, rec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Dataset != rec.Dataset || meta.Measure != rec.Measure ||
+		meta.Color != rec.Color || meta.Bins != rec.Bins ||
+		meta.Seq != rec.Seq || meta.Edge != rec.Edge {
+		t.Fatalf("meta decode mismatch: %+v", meta)
+	}
+}
+
+// TestSnapshotCodecRejectsCorruptInput: truncations and corruptions
+// must return errors — never panic, never a bundle that lies about
+// its own consistency.
+func TestSnapshotCodecRejectsCorruptInput(t *testing.T) {
+	rec := randomSnapshotRecord(t, 9, 40, 160, false, true)
+	full := encodeRecord(t, rec)
+
+	// Every truncation point: error, no panic. (The container ends at
+	// EOF, so any cut lands mid-header or mid-section.)
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := LoadSnapshot(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+	if _, err := LoadSnapshot(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+
+	// A snapshot whose field length disagrees with its graph must be
+	// rejected by the cross-section consistency checks.
+	bad := *rec
+	bad.Values = bad.Values[:len(bad.Values)-1]
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, &bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("height/graph length mismatch accepted")
+	}
+}
+
+// FuzzSnapshotCodec is the satellite acceptance test: for random
+// graphs and fields, decode(encode(s)) must be deep-equal to s, and
+// arbitrary corruption of the encoded bytes must never panic the
+// decoder.
+func FuzzSnapshotCodec(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint16(60), false, false, uint16(0), byte(0))
+	f.Add(int64(2), uint8(50), uint16(300), true, false, uint16(9), byte(7))
+	f.Add(int64(3), uint8(5), uint16(4), false, true, uint16(100), byte(255))
+	f.Add(int64(4), uint8(80), uint16(500), true, true, uint16(65535), byte(1))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, attempts uint16, edgeBased, colored bool, corruptAt uint16, corruptXor byte) {
+		rec := randomSnapshotRecord(t, seed, int(n)+2, int(attempts)%1000, edgeBased, colored)
+		data := encodeRecord(t, rec)
+
+		got, err := LoadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		assertRecordsDeepEqual(t, rec, got)
+
+		// Corruption: flip one byte and decode. Any outcome but a panic
+		// is acceptable; decoded results must still be self-consistent
+		// enough to have passed validation.
+		if corruptXor != 0 && len(data) > 0 {
+			evil := append([]byte(nil), data...)
+			evil[int(corruptAt)%len(evil)] ^= corruptXor
+			_, _ = LoadSnapshot(bytes.NewReader(evil))
+			// Truncation at the corruption point, too.
+			_, _ = LoadSnapshot(bytes.NewReader(evil[:int(corruptAt)%len(evil)]))
+		}
+	})
+}
