@@ -3,32 +3,37 @@ package main
 // The perf-trajectory experiment: a fixed set of hot-path kernels —
 // tree construction with serial, parallel, and pooled sweep drivers,
 // the distance-based centrality kernels (the batched MS-BFS engine
-// against the retained per-source baseline, now including the
-// eccentricity fold), the snapshot-cache hit/miss paths of
-// internal/query, and the snapshot wire codec (encode and decode
-// throughput for the disk store and the shard fabric) — timed with
-// allocation counts and written as machine-readable JSON (-benchout,
-// BENCH_5.json by default), so the effect of each PR on the hot path
-// is tracked as checked-in evidence rather than folklore. CI runs it
-// with -benchiters 1 as a smoke test; locally, higher iteration
-// counts give stable numbers.
+// against the retained per-source baseline, including the
+// eccentricity, k-hop, and early-cutoff diameter folds), the
+// betweenness kernels (the batched MS-Brandes engine against the
+// retained per-source Brandes baseline, vertex, edge, and sampled),
+// the snapshot-cache hit/miss paths of internal/query, and the
+// snapshot wire codec (encode and decode throughput for the disk
+// store and the shard fabric) — timed with allocation counts and
+// written as machine-readable JSON (-benchout, BENCH_6.json by
+// default), so the effect of each PR on the hot path is tracked as
+// checked-in evidence rather than folklore. CI runs it with
+// -benchiters 1 as a smoke test; locally, higher iteration counts
+// give stable numbers.
 //
-// BENCH_5.json methodology: generated with
+// BENCH_6.json methodology: generated with
 //
 //	GOMAXPROCS=4 go run ./cmd/experiments -exp bench -scale 2 \
-//	    -benchiters 3 -out . -benchout BENCH_5.json
+//	    -benchiters 3 -out . -benchout BENCH_6.json
 //
 // i.e. the GrQc stand-in at twice the published size (~10k vertices)
-// with multi-worker kernels enabled, so the msbfs/* rows measure the
-// batched engine in the configuration the acceptance criterion names:
-// closeness/per-source-baseline ÷ msbfs/closeness is the batching
-// speedup (≥3× required; ~5× recorded since BENCH_4.json — the
-// word-level batching, not core count, carries the win; denser graphs
-// batch better, e.g. ~9× at 5k vertices with 3·n edge attempts). The
-// snapshot-codec rows time the full container — graph CSR, fields,
-// super tree — so encode ns/op over the snapshot's byte size is the
-// disk-store insert cost and the upper bound a shared cache tier pays
-// per miss.
+// with multi-worker kernels enabled, so the msbfs/* and msbrandes/*
+// rows measure the batched engines in the configuration the
+// acceptance criteria name: closeness/per-source-baseline ÷
+// msbfs/closeness is the MS-BFS batching speedup (≥3× required; ~5×
+// recorded since BENCH_4.json), and betweenness/per-source-baseline ÷
+// msbrandes/betweenness is the MS-Brandes batching speedup (≥2×
+// required since BENCH_6.json) — both baselines shard across the same
+// cores, so the ratios isolate the word-level batching, not core
+// count; the *-1worker rows isolate it further. The snapshot-codec
+// rows time the full container — graph CSR, fields, super tree — so
+// encode ns/op over the snapshot's byte size is the disk-store insert
+// cost and the upper bound a shared cache tier pays per miss.
 
 import (
 	"bytes"
@@ -51,7 +56,7 @@ import (
 var benchIters = flag.Int("benchiters", 10,
 	"iterations per kernel in -exp bench (1 = smoke run)")
 
-var benchOut = flag.String("benchout", "BENCH_5.json",
+var benchOut = flag.String("benchout", "BENCH_6.json",
 	"output file for -exp bench results (joined to -out unless absolute)")
 
 func init() {
@@ -156,6 +161,7 @@ func runBench(cfg config) error {
 		{"msbfs/closeness", ok(func() { measures.ParallelClosenessCentrality(g) })},
 		{"msbfs/harmonic", ok(func() { measures.ParallelHarmonicCentrality(g) })},
 		{"msbfs/eccentricity", ok(func() { measures.ParallelEccentricity(g) })},
+		{"msbfs/khop", ok(func() { measures.ParallelKHopSize(g) })},
 		{"msbfs/closeness-1worker", ok(func() { measures.ClosenessCentrality(g) })},
 		{"msbfs/closeness+harmonic-shared", func() error {
 			if _, shared := measures.SharedDistanceFields(g, []string{"closeness", "harmonic"}, true); !shared {
@@ -163,6 +169,21 @@ func runBench(cfg config) error {
 			}
 			return nil
 		}},
+		{"diameter/early-cutoff", ok(func() { measures.ComponentDiameter(g) })},
+		// Betweenness: the per-source Brandes baselines (vertex kernel
+		// sharded across cores, edge kernel serial — its pre-PR-6 form)
+		// against the batched MS-Brandes engine. baseline ÷ msbrandes is
+		// the batching speedup the acceptance criterion names (≥2×);
+		// msbrandes/betweenness-1worker isolates the algorithmic win
+		// from core count; the sampled rows time the registry's
+		// 512-pivot approximate path, old per-source sampling vs the
+		// batched parallel kernel.
+		{"betweenness/per-source-baseline", ok(func() { measures.PerSourceBetweennessCentrality(g) })},
+		{"msbrandes/betweenness", ok(func() { measures.ParallelBetweennessCentrality(g) })},
+		{"msbrandes/betweenness-1worker", ok(func() { measures.BetweennessCentrality(g) })},
+		{"edgebetweenness/per-source-baseline", ok(func() { measures.EdgeBetweennessCentrality(g) })},
+		{"msbrandes/edgebetweenness", ok(func() { measures.ParallelEdgeBetweennessCentrality(g) })},
+		{"msbrandes/sampled-512", ok(func() { measures.ParallelApproxBetweennessCentrality(g, 512, 1) })},
 		{"betweenness/sampled-64", ok(func() { measures.ApproxBetweennessCentrality(g, 64, 1) })},
 		{"analyze/kcore-pooled", func() error {
 			_, err := analyzer.Analyze(g, "kcore", scalarfield.AnalyzeOptions{})

@@ -1,0 +1,262 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// refBrandesSource runs the classic single-source Brandes pass (the
+// rolling-queue forward phase, exact reference) and returns sigma,
+// dist, and the accumulated per-vertex and per-edge dependencies.
+func refBrandesSource(g *Graph, src int32) (sigma []float64, dist []int32, delta []float64, edelta []float64) {
+	n := g.NumVertices()
+	sigma = make([]float64, n)
+	dist = make([]int32, n)
+	delta = make([]float64, n)
+	edelta = make([]float64, g.NumEdges())
+	for i := range dist {
+		dist[i] = -1
+	}
+	order := make([]int32, 0, n)
+	sigma[src], dist[src] = 1, 0
+	order = append(order, src)
+	for head := 0; head < len(order); head++ {
+		v := order[head]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				order = append(order, u)
+			}
+			if dist[u] == dist[v]+1 {
+				sigma[u] += sigma[v]
+			}
+		}
+	}
+	for i := len(order) - 1; i > 0; i-- {
+		w := order[i]
+		nbrs := g.Neighbors(w)
+		eids := g.IncidentEdges(w)
+		for j, v := range nbrs {
+			if dist[v] == dist[w]-1 {
+				c := sigma[v] / sigma[w] * (1 + delta[w])
+				delta[v] += c
+				edelta[eids[j]] += c
+			}
+		}
+	}
+	return sigma, dist, delta, edelta
+}
+
+// batchDistances reconstructs per-lane BFS distances from the scratch's
+// recorded events: lane s of evBits[e] set at level L means
+// dist_s(evVert[e]) = L.
+func batchDistances(s *MSBrandesScratch, n, k int, sources []int32) [][]int32 {
+	dist := make([][]int32, k)
+	for i := range dist {
+		dist[i] = make([]int32, n)
+		for v := range dist[i] {
+			dist[i][v] = -1
+		}
+		dist[i][sources[i]] = 0
+	}
+	lo := int32(0)
+	for lvl, hi := range s.levelEnd {
+		for e := lo; e < hi; e++ {
+			v, b := s.evVert[e], s.evBits[e]
+			for i := 0; i < k; i++ {
+				if b&(1<<uint(i)) != 0 {
+					dist[i][v] = int32(lvl + 1)
+				}
+			}
+		}
+		lo = hi
+	}
+	return dist
+}
+
+// checkBatchAgainstReference runs one MS-Brandes batch and pins, per
+// source lane: sigma exactly equal to the reference pass, distances
+// (from the event record) exactly equal, and the accumulated bc/ebc
+// equal to the summed reference dependencies up to floating-point
+// summation order.
+func checkBatchAgainstReference(t *testing.T, g *Graph, sources []int32, dir int8, label string) {
+	t.Helper()
+	n := g.NumVertices()
+	var s MSBrandesScratch
+	s.forceDir = dir
+	bc := make([]float64, n)
+	ebc := make([]float64, g.NumEdges())
+	s.AccumulateBatch(g, sources, bc, ebc)
+
+	wantBC := make([]float64, n)
+	wantEBC := make([]float64, g.NumEdges())
+	dist := batchDistances(&s, n, len(sources), sources)
+	for i, src := range sources {
+		sigma, rdist, delta, edelta := refBrandesSource(g, src)
+		for v := 0; v < n; v++ {
+			if got := s.sigma[v*MSBFSBatch+i]; got != sigma[v] {
+				t.Fatalf("%s: source %d sigma[%d] = %g, reference %g", label, src, v, got, sigma[v])
+			}
+			if dist[i][v] != rdist[v] {
+				t.Fatalf("%s: source %d dist[%d] = %d, reference %d", label, src, v, dist[i][v], rdist[v])
+			}
+		}
+		for v := range wantBC {
+			if int32(v) != src { // Brandes never credits the source its own delta
+				wantBC[v] += delta[v]
+			}
+		}
+		for e := range wantEBC {
+			wantEBC[e] += edelta[e]
+		}
+	}
+	for v := range wantBC {
+		if diff := math.Abs(bc[v] - wantBC[v]); diff > 1e-9*math.Max(1, math.Abs(wantBC[v])) {
+			t.Fatalf("%s: bc[%d] = %g, reference %g", label, v, bc[v], wantBC[v])
+		}
+	}
+	for e := range wantEBC {
+		if diff := math.Abs(ebc[e] - wantEBC[e]); diff > 1e-9*math.Max(1, math.Abs(wantEBC[e])) {
+			t.Fatalf("%s: ebc[%d] = %g, reference %g", label, e, ebc[e], wantEBC[e])
+		}
+	}
+}
+
+// TestMSBrandesMatchesReference is the core oracle: across random
+// graphs of varying density — disconnected graphs and isolated
+// vertices included — every lane's sigma and distances equal the
+// per-source reference exactly, and the batch-accumulated vertex and
+// edge dependencies match up to summation order, in automatic,
+// forced-top-down, and forced-bottom-up modes alike.
+func TestMSBrandesMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		for _, density := range []float64{0.3, 1.5, 4.0} {
+			n := 40 + int(seed)*31
+			g := msbfsRandomGraph(seed, n, density)
+			sources := make([]int32, 0, MSBFSBatch)
+			for v := 0; v < n && v < MSBFSBatch; v++ {
+				sources = append(sources, int32(v))
+			}
+			for _, dir := range []int8{msbfsAuto, msbfsForceTopDown, msbfsForceBottomUp} {
+				checkBatchAgainstReference(t, g, sources, dir, "fuzz")
+			}
+		}
+	}
+}
+
+// TestMSBrandesShapes covers the structured corner cases mirroring
+// msbfs_test.go: path (deep narrow levels), star (one fat level),
+// complete graph (single dense level), no edges, partial batches,
+// single and duplicate sources.
+func TestMSBrandesShapes(t *testing.T) {
+	path := NewBuilder(50)
+	for i := int32(0); i < 49; i++ {
+		path.AddEdge(i, i+1)
+	}
+	star := NewBuilder(20)
+	for i := int32(1); i < 20; i++ {
+		star.AddEdge(0, i)
+	}
+	complete := NewBuilder(12)
+	for i := int32(0); i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			complete.AddEdge(i, j)
+		}
+	}
+	empty := NewBuilder(5).Build()
+
+	cases := []struct {
+		name    string
+		g       *Graph
+		sources []int32
+	}{
+		{"path/spread", path.Build(), []int32{0, 7, 24, 49}},
+		{"star", star.Build(), []int32{0, 1, 5}},
+		{"complete", complete.Build(), []int32{0, 3, 11}},
+		{"no-edges", empty, []int32{0, 3}},
+		{"single-source", msbfsRandomGraph(3, 64, 2), []int32{11}},
+		{"duplicate-sources", msbfsRandomGraph(4, 64, 2), []int32{9, 9, 30}},
+	}
+	for _, tc := range cases {
+		checkBatchAgainstReference(t, tc.g, tc.sources, msbfsAuto, tc.name)
+	}
+}
+
+// TestMSBrandesDirectionsAgree pins the direction contract on a graph
+// dense enough that the automatic heuristic actually flips bottom-up:
+// sigma lanes are bitwise identical between forced directions (integer
+// counts, order-free), and bc agrees within summation-order slack.
+func TestMSBrandesDirectionsAgree(t *testing.T) {
+	g := msbfsRandomGraph(7, 300, 6.0)
+	sources := make([]int32, MSBFSBatch)
+	for i := range sources {
+		sources[i] = int32(i)
+	}
+	n := g.NumVertices()
+	var td, bu MSBrandesScratch
+	td.forceDir = msbfsForceTopDown
+	bu.forceDir = msbfsForceBottomUp
+	bcTD := make([]float64, n)
+	bcBU := make([]float64, n)
+	td.AccumulateBatch(g, sources, bcTD, nil)
+	bu.AccumulateBatch(g, sources, bcBU, nil)
+	for v := 0; v < n; v++ {
+		for i := range sources {
+			if td.sigma[v*MSBFSBatch+i] != bu.sigma[v*MSBFSBatch+i] {
+				t.Fatalf("sigma[%d] lane %d: top-down %g, bottom-up %g",
+					v, i, td.sigma[v*MSBFSBatch+i], bu.sigma[v*MSBFSBatch+i])
+			}
+		}
+		if diff := math.Abs(bcTD[v] - bcBU[v]); diff > 1e-9*math.Max(1, math.Abs(bcBU[v])) {
+			t.Fatalf("bc[%d]: top-down %g, bottom-up %g", v, bcTD[v], bcBU[v])
+		}
+	}
+}
+
+// TestMSBrandesAccumulates pins the add-into contract: two batches into
+// the same accumulator sum, and a nil bc/ebc skips that side.
+func TestMSBrandesAccumulates(t *testing.T) {
+	g := msbfsRandomGraph(9, 80, 2.0)
+	n := g.NumVertices()
+	var s MSBrandesScratch
+	one := make([]float64, n)
+	s.AccumulateBatch(g, []int32{3}, one, nil)
+	twice := make([]float64, n)
+	s.AccumulateBatch(g, []int32{3}, twice, nil)
+	s.AccumulateBatch(g, []int32{3}, twice, nil)
+	for v := range twice {
+		if diff := math.Abs(twice[v] - 2*one[v]); diff > 1e-12*math.Max(1, one[v]) {
+			t.Fatalf("accumulation not additive at %d: %g vs 2·%g", v, twice[v], one[v])
+		}
+	}
+	s.AccumulateBatch(g, []int32{5}, nil, nil) // both sides nil: traversal only, must not panic
+}
+
+func TestMSBrandesEmptyBatch(t *testing.T) {
+	g := msbfsRandomGraph(1, 10, 2)
+	var s MSBrandesScratch
+	s.AccumulateBatch(g, nil, nil, nil)
+	if len(s.levelEnd) != 0 {
+		t.Fatal("empty batch recorded levels")
+	}
+}
+
+// TestMSBrandesWarmBatchAllocationFree pins the pooled-scratch
+// contract: after the first batch has sized the buffers, further
+// batches on the same scratch allocate nothing.
+func TestMSBrandesWarmBatchAllocationFree(t *testing.T) {
+	g := msbfsRandomGraph(5, 500, 2.5)
+	sources := make([]int32, MSBFSBatch)
+	for i := range sources {
+		sources[i] = int32(i * 7)
+	}
+	bc := make([]float64, g.NumVertices())
+	ebc := make([]float64, g.NumEdges())
+	var s MSBrandesScratch
+	s.AccumulateBatch(g, sources, bc, ebc) // warm up
+	if a := testing.AllocsPerRun(10, func() {
+		s.AccumulateBatch(g, sources, bc, ebc)
+	}); a != 0 {
+		t.Fatalf("warm AccumulateBatch allocates %v objects per batch, want 0", a)
+	}
+}

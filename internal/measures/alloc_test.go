@@ -56,10 +56,20 @@ func TestHarmonicAllocationBound(t *testing.T) {
 	}
 }
 
+// betweennessAllocBudget is the per-call ceiling for the batched
+// MS-Brandes kernel. Each call warms one scratch per worker (backing
+// arrays plus a logarithmic number of event-list growth steps) on top
+// of the sources/stripe/output slices — a few dozen objects regardless
+// of how many of the |V| sources the pass covers. The O(|V|)
+// regression the guard exists for would blow past this immediately;
+// the zero-allocation warm-batch claim itself is pinned at the graph
+// layer (TestMSBrandesWarmBatchAllocationFree).
+const betweennessAllocBudget = 64
+
 func TestBetweennessAllocationBound(t *testing.T) {
 	g := randomGraph(3, 400, 2.0)
-	if a := kernelAllocs(t, func() { BetweennessCentrality(g) }); a > allocBudget {
-		t.Fatalf("BetweennessCentrality allocates %v objects on a 400-vertex graph, budget %d", a, allocBudget)
+	if a := kernelAllocs(t, func() { BetweennessCentrality(g) }); a > betweennessAllocBudget {
+		t.Fatalf("BetweennessCentrality allocates %v objects on a 400-vertex graph, budget %d", a, betweennessAllocBudget)
 	}
 }
 

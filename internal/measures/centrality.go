@@ -17,35 +17,62 @@ func DegreeCentrality(g *graph.Graph) []float64 {
 }
 
 // BetweennessCentrality computes exact betweenness centrality on the
-// unweighted graph using Brandes' algorithm: one BFS plus a dependency
-// back-propagation per source, O(|V|·|E|) total. Scores count each
-// unordered pair once (the undirected convention: accumulated values
-// are halved).
+// unweighted graph with Brandes' accumulation, run on the batched
+// MS-Brandes engine: 64 sources advance per traversal, sharing the
+// forward frontier expansion and the reverse dependency sweep, still
+// O(|V|·|E|) total but with the per-edge machinery paid once per
+// 64-source batch. Scores count each unordered pair once (the
+// undirected convention: accumulated values are halved) and are
+// bitwise identical to ParallelBetweennessCentrality; the retained
+// per-source kernel (PerSourceBetweennessCentrality) is the oracle
+// baseline, which this agrees with up to floating-point summation
+// order.
 func BetweennessCentrality(g *graph.Graph) []float64 {
-	n := g.NumVertices()
-	sources := make([]int32, n)
-	for i := range sources {
-		sources[i] = int32(i)
-	}
-	return betweennessFrom(g, sources, 1)
+	return msBrandesBetweenness(g, 1)
 }
 
 // ApproxBetweennessCentrality estimates betweenness from a uniform
-// sample of source vertices, scaling the accumulated dependencies by
+// sample of pivot sources, scaling the accumulated dependencies by
 // n/samples. It keeps Table II-scale graphs tractable: exact Brandes
-// on millions of vertices is out of reach on one machine.
+// on millions of vertices is out of reach on one machine. Pivots are
+// drawn by a seeded O(samples) partial Fisher–Yates shuffle and the
+// accumulation runs on the batched MS-Brandes engine;
+// ParallelApproxBetweennessCentrality is the bitwise-identical
+// multi-core variant.
 func ApproxBetweennessCentrality(g *graph.Graph, samples int, seed int64) []float64 {
-	n := g.NumVertices()
-	if samples >= n {
-		return BetweennessCentrality(g)
-	}
+	return approxBetweenness(g, samples, seed, 1)
+}
+
+// sampleSources draws `samples` distinct vertices uniformly without
+// replacement in O(samples) time and space: a partial Fisher–Yates
+// shuffle over the virtual identity array [0, n), tracking only the
+// displaced entries in a map instead of materializing (and fully
+// shuffling) all n entries, which the previous rng.Perm implementation
+// did on every sampled analysis — O(n) work to draw a few hundred
+// pivots from a million-vertex graph.
+func sampleSources(n, samples int, seed int64) []int32 {
 	rng := rand.New(rand.NewSource(seed))
-	perm := rng.Perm(n)
+	displaced := make(map[int]int, samples)
 	sources := make([]int32, samples)
 	for i := 0; i < samples; i++ {
-		sources[i] = int32(perm[i])
+		j := i + rng.Intn(n-i)
+		vi := i
+		if x, ok := displaced[i]; ok {
+			vi = x
+			delete(displaced, i) // position i is consumed, free its slot
+		}
+		vj := j
+		if x, ok := displaced[j]; ok {
+			vj = x
+		}
+		if j == i {
+			vj = vi
+		} else {
+			displaced[j] = vi
+		}
+		sources[i] = int32(vj)
 	}
-	return betweennessFrom(g, sources, float64(n)/float64(samples))
+	return sources
 }
 
 // brandesScratch holds the per-worker state of the Brandes
@@ -89,7 +116,10 @@ const (
 	brandesMinFrontier = 32
 )
 
-// betweennessFrom runs the Brandes accumulation from the given sources.
+// betweennessFrom runs the per-source Brandes accumulation from the
+// given sources. It is the engine of the retained per-source baseline
+// (PerSourceBetweennessCentrality) that the batched MS-Brandes kernels
+// are benchmarked and oracle-tested against.
 func betweennessFrom(g *graph.Graph, sources []int32, scale float64) []float64 {
 	bc := make([]float64, g.NumVertices())
 	var scratch brandesScratch
@@ -211,8 +241,7 @@ func betweennessInto(g *graph.Graph, sources []int32, bc []float64, scratch *bra
 // baseline (the fold's integer sums are exact in any order); see
 // distance.go for the fold contract.
 func ClosenessCentrality(g *graph.Graph) []float64 {
-	clo, _, _ := msbfsFields(g, true, false, false, 1)
-	return clo
+	return msbfsFields(g, distSel{close: true}, 1).clo
 }
 
 // closenessOf folds one source's BFS distances into its closeness
@@ -241,8 +270,7 @@ func closenessOf(dist []int32, n int) float64 {
 // retained per-source baseline up to floating-point summation order;
 // see distance.go for the fold contract.
 func HarmonicCentrality(g *graph.Graph) []float64 {
-	_, har, _ := msbfsFields(g, false, true, false, 1)
-	return har
+	return msbfsFields(g, distSel{harm: true}, 1).har
 }
 
 // harmonicOf folds one source's BFS distances into its harmonic score

@@ -7,10 +7,11 @@ import (
 	"repro/internal/par"
 )
 
-// The distance-based centralities (closeness, harmonic) ride the
-// batched MS-BFS engine of internal/graph: sources are grouped into
-// word-wide batches, each batch advances 64 traversals at once, and the
-// per-level counts the engine reports are folded directly into scores.
+// The distance-based centralities (closeness, harmonic, eccentricity,
+// k-hop size) ride the batched MS-BFS engine of internal/graph:
+// sources are grouped into word-wide batches, each batch advances 64
+// traversals at once, and the per-level counts the engine reports are
+// folded directly into scores.
 //
 // Fold semantics. For each source s, the engine reports c_L = number of
 // vertices first reached at depth L, for L = 1, 2, … in order. The
@@ -21,10 +22,13 @@ import (
 //	harmonic:     Σ_L float64(c_L)/float64(L), accumulated in ascending L
 //	eccentricity: max L with c_L > 0 (0 for isolated vertices) — the
 //	              greatest BFS depth within the source's component
+//	khop:         Σ_{L ≤ KHopRadius} c_L (exact int64) — the number of
+//	              other vertices within KHopRadius hops
 //
 // Closeness is bit-identical to the retained per-source baseline: its
 // intermediate sums are integers, exact in either accumulation order
-// (while Σ distances < 2^53, astronomically beyond any graph here).
+// (while Σ distances < 2^53, astronomically beyond any graph here);
+// the eccentricity and khop folds are set-determined integers too.
 // Harmonic's level-count fold replaces the baseline's vertex-order
 // Σ 1/d_v; the two agree up to floating-point summation order (last
 // ulp), the same contract the registry already sets for serial vs
@@ -33,49 +37,75 @@ import (
 // other bitwise for any worker count: batch boundaries are fixed by
 // vertex ID, and each batch's fold is independent of scheduling.
 
+// KHopRadius is the hop radius of the "khop" neighborhood-size
+// measure: |{u : 1 ≤ d(v,u) ≤ KHopRadius}| per vertex. Three hops is
+// the smallest radius that separates local density (degree, triangles)
+// from mesoscale reach on the small-world graphs of the paper's
+// Table II, while staying cheap under the batched engine (the fold
+// stops counting, not traversing, past the radius).
+const KHopRadius = 3
+
+// distSel selects which distance-based fields a shared MS-BFS pass
+// folds; distFields carries the results (nil for unselected fields).
+type distSel struct {
+	close, harm, ecc, khop bool
+}
+
+type distFields struct {
+	clo, har, ecc, khop []float64
+}
+
 // distAccum folds one batch's level counts. It lives on the worker, is
 // reset per batch, and its visit method is bound once per worker so the
 // batch loop stays allocation-free.
 type distAccum struct {
-	wantClose, wantHarm, wantEcc bool
-	reach                        [graph.MSBFSBatch]int64
-	sumDist                      [graph.MSBFSBatch]int64
-	harm                         [graph.MSBFSBatch]float64
-	ecc                          [graph.MSBFSBatch]int32
+	sel     distSel
+	reach   [graph.MSBFSBatch]int64
+	sumDist [graph.MSBFSBatch]int64
+	harm    [graph.MSBFSBatch]float64
+	ecc     [graph.MSBFSBatch]int32
+	khop    [graph.MSBFSBatch]int64
 }
 
 func (a *distAccum) reset() {
-	if a.wantClose {
+	if a.sel.close {
 		clear(a.reach[:])
 		clear(a.sumDist[:])
 	}
-	if a.wantHarm {
+	if a.sel.harm {
 		clear(a.harm[:])
 	}
-	if a.wantEcc {
+	if a.sel.ecc {
 		clear(a.ecc[:])
+	}
+	if a.sel.khop {
+		clear(a.khop[:])
 	}
 }
 
 func (a *distAccum) visit(level int32, counts *[graph.MSBFSBatch]int32) {
+	khop := a.sel.khop && level <= KHopRadius
 	for s, c := range counts {
 		if c == 0 {
 			continue
 		}
-		if a.wantClose {
+		if a.sel.close {
 			a.reach[s] += int64(c)
 			a.sumDist[s] += int64(level) * int64(c)
 		}
-		if a.wantHarm {
+		if a.sel.harm {
 			// The literal division (not a hoisted 1/L multiply) keeps
 			// the fold deterministic: c/L and c·(1/L) round differently
 			// when 1/L is inexact — see the fold contract above.
 			a.harm[s] += float64(c) / float64(level)
 		}
-		if a.wantEcc {
+		if a.sel.ecc {
 			// Levels arrive in ascending order, so the last level with
 			// a nonzero count is the eccentricity.
 			a.ecc[s] = level
+		}
+		if khop {
+			a.khop[s] += int64(c)
 		}
 	}
 }
@@ -91,24 +121,27 @@ func closenessScore(reach, sumDist int64, n int) float64 {
 	return r * r / (float64(n-1) * float64(sumDist))
 }
 
-// msbfsFields computes the requested distance-based fields in one
+// msbfsFields computes the selected distance-based fields in one
 // shared MS-BFS sweep over all vertices. Batches (64 consecutive vertex
 // IDs each) are strided across workers; each worker holds one pooled
 // scratch and one accumulator, and batches write disjoint output
 // ranges, so the sweep needs no locks and performs O(1) allocations per
 // worker once warm. Results are identical for any worker count.
-func msbfsFields(g *graph.Graph, wantClose, wantHarm, wantEcc bool, workers int) ([]float64, []float64, []float64) {
+func msbfsFields(g *graph.Graph, sel distSel, workers int) distFields {
 	n := g.NumVertices()
 	// Single-assignment locals, deliberately: the run closure captures
 	// these, and escape analysis is flow-insensitive — a variable
 	// assigned anywhere after declaration is captured by reference,
 	// costing one heap cell per field. Initializing at declaration
 	// keeps the capture by value (the alloc_test budgets pin this).
-	clo := makeIf(wantClose, n)
-	har := makeIf(wantHarm, n)
-	ecc := makeIf(wantEcc, n)
+	out := distFields{
+		clo:  makeIf(sel.close, n),
+		har:  makeIf(sel.harm, n),
+		ecc:  makeIf(sel.ecc, n),
+		khop: makeIf(sel.khop, n),
+	}
 	if n == 0 {
-		return clo, har, ecc
+		return out
 	}
 	numBatches := (n + graph.MSBFSBatch - 1) / graph.MSBFSBatch
 	if workers > numBatches {
@@ -120,7 +153,7 @@ func msbfsFields(g *graph.Graph, wantClose, wantHarm, wantEcc bool, workers int)
 	run := func(w int) {
 		var scratch graph.MSBFSScratch
 		var sources [graph.MSBFSBatch]int32
-		acc := &distAccum{wantClose: wantClose, wantHarm: wantHarm, wantEcc: wantEcc}
+		acc := &distAccum{sel: sel}
 		visit := acc.visit
 		for b := w; b < numBatches; b += workers {
 			lo := b * graph.MSBFSBatch
@@ -135,21 +168,24 @@ func msbfsFields(g *graph.Graph, wantClose, wantHarm, wantEcc bool, workers int)
 			acc.reset()
 			scratch.RunBatch(g, batch, visit)
 			for i := 0; i < hi-lo; i++ {
-				if wantClose {
-					clo[lo+i] = closenessScore(acc.reach[i], acc.sumDist[i], n)
+				if sel.close {
+					out.clo[lo+i] = closenessScore(acc.reach[i], acc.sumDist[i], n)
 				}
-				if wantHarm {
-					har[lo+i] = acc.harm[i]
+				if sel.harm {
+					out.har[lo+i] = acc.harm[i]
 				}
-				if wantEcc {
-					ecc[lo+i] = float64(acc.ecc[i])
+				if sel.ecc {
+					out.ecc[lo+i] = float64(acc.ecc[i])
+				}
+				if sel.khop {
+					out.khop[lo+i] = float64(acc.khop[i])
 				}
 			}
 		}
 	}
 	if workers == 1 {
 		run(0)
-		return clo, har, ecc
+		return out
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -160,7 +196,7 @@ func msbfsFields(g *graph.Graph, wantClose, wantHarm, wantEcc bool, workers int)
 		}(w)
 	}
 	wg.Wait()
-	return clo, har, ecc
+	return out
 }
 
 // makeIf allocates an n-value field only when it is wanted.
@@ -185,10 +221,11 @@ func distanceWorkers(g *graph.Graph, parallel bool) int {
 // names are distance-based: DistanceBased and SharedDistanceFields
 // both consult it, so adding a measure here lights up the shared-pass
 // path everywhere at once.
-var distanceMeasures = map[string]struct{ close, harm, ecc bool }{
+var distanceMeasures = map[string]distSel{
 	"closeness":    {close: true},
 	"harmonic":     {harm: true},
 	"eccentricity": {ecc: true},
+	"khop":         {khop: true},
 }
 
 // DistanceBased reports whether the named registered measure is
@@ -207,26 +244,30 @@ func DistanceBased(name string) bool {
 // returned field is bit-identical to the field the registry computes
 // for that measure alone.
 func SharedDistanceFields(g *graph.Graph, names []string, parallel bool) (map[string][]float64, bool) {
-	wantClose, wantHarm, wantEcc := false, false, false
+	var sel distSel
 	for _, name := range names {
-		sel, ok := distanceMeasures[name]
+		s, ok := distanceMeasures[name]
 		if !ok {
 			return nil, false
 		}
-		wantClose = wantClose || sel.close
-		wantHarm = wantHarm || sel.harm
-		wantEcc = wantEcc || sel.ecc
+		sel.close = sel.close || s.close
+		sel.harm = sel.harm || s.harm
+		sel.ecc = sel.ecc || s.ecc
+		sel.khop = sel.khop || s.khop
 	}
-	clo, har, ecc := msbfsFields(g, wantClose, wantHarm, wantEcc, distanceWorkers(g, parallel))
-	out := make(map[string][]float64, 3)
-	if wantClose {
-		out["closeness"] = clo
+	f := msbfsFields(g, sel, distanceWorkers(g, parallel))
+	out := make(map[string][]float64, 4)
+	if sel.close {
+		out["closeness"] = f.clo
 	}
-	if wantHarm {
-		out["harmonic"] = har
+	if sel.harm {
+		out["harmonic"] = f.har
 	}
-	if wantEcc {
-		out["eccentricity"] = ecc
+	if sel.ecc {
+		out["eccentricity"] = f.ecc
+	}
+	if sel.khop {
+		out["khop"] = f.khop
 	}
 	return out, true
 }
@@ -240,14 +281,30 @@ func SharedDistanceFields(g *graph.Graph, names []string, parallel bool) (map[st
 // periphery (graph-center analysis turned upside down); as a color
 // measure over a centrality terrain it highlights eccentric cores.
 func Eccentricity(g *graph.Graph) []float64 {
-	_, _, ecc := msbfsFields(g, false, false, true, 1)
-	return ecc
+	return msbfsFields(g, distSel{ecc: true}, 1).ecc
 }
 
 // ParallelEccentricity computes Eccentricity with 64-source batches
 // strided across cores. Bitwise identical for any worker count: the
 // fold writes set-determined integers.
 func ParallelEccentricity(g *graph.Graph) []float64 {
-	_, _, ecc := msbfsFields(g, false, false, true, distanceWorkers(g, true))
-	return ecc
+	return msbfsFields(g, distSel{ecc: true}, distanceWorkers(g, true)).ecc
+}
+
+// KHopSize computes, for every vertex, the number of other vertices
+// within KHopRadius hops — a neighborhood-scale field between degree
+// (radius 1) and closeness (unbounded radius) that the batched engine
+// makes as cheap as either: the fold truncates the level sum, the
+// traversal is the same shared sweep. High khop over low degree flags
+// vertices adjacent to hubs; as a terrain it surfaces mesoscale
+// density that k-core peeling misses.
+func KHopSize(g *graph.Graph) []float64 {
+	return msbfsFields(g, distSel{khop: true}, 1).khop
+}
+
+// ParallelKHopSize computes KHopSize with 64-source batches strided
+// across cores. Bitwise identical for any worker count: the fold
+// writes set-determined integers.
+func ParallelKHopSize(g *graph.Graph) []float64 {
+	return msbfsFields(g, distSel{khop: true}, distanceWorkers(g, true)).khop
 }

@@ -1,0 +1,254 @@
+package measures
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// sameWithinSummationSlack reports whether two accumulated float fields
+// agree up to floating-point summation-order freedom.
+func sameWithinSummationSlack(a, b []float64) (int, bool) {
+	if len(a) != len(b) {
+		return -1, false
+	}
+	for i := range a {
+		if diff := math.Abs(a[i] - b[i]); diff > 1e-9*math.Max(1, math.Abs(b[i])) {
+			return i, false
+		}
+	}
+	return -1, true
+}
+
+// TestBatchedBetweennessMatchesPerSource is the measures-level oracle:
+// on every corpus graph the batched MS-Brandes field equals the
+// retained per-source baseline up to summation order.
+func TestBatchedBetweennessMatchesPerSource(t *testing.T) {
+	for name, g := range oracleGraphs() {
+		want := PerSourceBetweennessCentrality(g)
+		got := BetweennessCentrality(g)
+		if v, ok := sameWithinSummationSlack(got, want); !ok {
+			t.Fatalf("%s: bc[%d] = %g, per-source baseline %g", name, v, got[v], want[v])
+		}
+	}
+}
+
+// TestBetweennessWorkerCountIndependent pins the stripe-merge contract:
+// the batched kernel is bitwise identical for every worker count, so
+// BetweennessCentrality (one worker) and ParallelBetweennessCentrality
+// (all cores) can never disagree.
+func TestBetweennessWorkerCountIndependent(t *testing.T) {
+	g := randomGraph(61, 700, 2.5)
+	want := msBrandesBetweenness(g, 1)
+	for _, w := range []int{2, 3, 5, 16} {
+		if got := msBrandesBetweenness(g, w); !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: batched betweenness diverges bitwise from serial", w)
+		}
+	}
+	if got := ParallelBetweennessCentrality(g); !reflect.DeepEqual(want, got) {
+		t.Fatal("ParallelBetweennessCentrality diverges bitwise from BetweennessCentrality")
+	}
+}
+
+// TestParallelEdgeBetweennessMatchesSerial checks the batched edge
+// kernel against the per-source EdgeBetweennessCentrality on the
+// corpus, and its bitwise worker independence.
+func TestParallelEdgeBetweennessMatchesSerial(t *testing.T) {
+	for name, g := range oracleGraphs() {
+		want := EdgeBetweennessCentrality(g)
+		got := msBrandesEdgeBetweenness(g, 1)
+		if e, ok := sameWithinSummationSlack(got, want); !ok {
+			t.Fatalf("%s: ebc[%d] = %g, per-source baseline %g", name, e, got[e], want[e])
+		}
+	}
+	g := randomGraph(62, 500, 3.0)
+	want := msBrandesEdgeBetweenness(g, 1)
+	for _, w := range []int{2, 4, 7} {
+		if got := msBrandesEdgeBetweenness(g, w); !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: batched edge betweenness diverges bitwise from serial", w)
+		}
+	}
+}
+
+// TestBatchedVertexAndEdgeFieldsShareOnePass checks that asking the
+// engine for both fields at once yields exactly the fields of the two
+// separate passes — the shared reverse sweep attributes the same
+// per-update floats either way.
+func TestBatchedVertexAndEdgeFieldsShareOnePass(t *testing.T) {
+	g := randomGraph(63, 300, 2.5)
+	bc, ebc := msBrandesFields(g, allVertexSources(g.NumVertices()), true, true, 3)
+	bcOnly, _ := msBrandesFields(g, allVertexSources(g.NumVertices()), true, false, 1)
+	_, ebcOnly := msBrandesFields(g, allVertexSources(g.NumVertices()), false, true, 2)
+	if !reflect.DeepEqual(bc, bcOnly) {
+		t.Fatal("combined pass vertex field diverges from bc-only pass")
+	}
+	if !reflect.DeepEqual(ebc, ebcOnly) {
+		t.Fatal("combined pass edge field diverges from ebc-only pass")
+	}
+}
+
+// TestParallelApproxBitwiseMatchesSerial pins the sampled-path
+// contract: the parallel sampled kernel draws the identical seeded
+// pivot set and merges in the identical stripe order, so it matches the
+// serial sampled kernel bitwise.
+func TestParallelApproxBitwiseMatchesSerial(t *testing.T) {
+	g := randomGraph(64, 900, 2.0)
+	want := ApproxBetweennessCentrality(g, 130, 9)
+	for _, w := range []int{2, 3, 8} {
+		if got := approxBetweenness(g, 130, 9, w); !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: sampled betweenness diverges bitwise from serial", w)
+		}
+	}
+	if got := ParallelApproxBetweennessCentrality(g, 130, 9); !reflect.DeepEqual(want, got) {
+		t.Fatal("ParallelApproxBetweennessCentrality diverges bitwise from serial sampled kernel")
+	}
+}
+
+// TestApproxSaturatesToExact pins the samples >= n escape hatch: the
+// sampled kernel degrades to the exact one rather than oversampling.
+func TestApproxSaturatesToExact(t *testing.T) {
+	g := randomGraph(65, 150, 2.0)
+	want := BetweennessCentrality(g)
+	if got := ApproxBetweennessCentrality(g, 150, 3); !reflect.DeepEqual(want, got) {
+		t.Fatal("samples == n sampled kernel diverges from exact")
+	}
+	if got := ApproxBetweennessCentrality(g, 400, 3); !reflect.DeepEqual(want, got) {
+		t.Fatal("samples > n sampled kernel diverges from exact")
+	}
+}
+
+// TestSampleSourcesUniformWithoutReplacement checks the partial
+// Fisher–Yates sampler: right count, in range, all distinct,
+// deterministic per seed, and a full permutation when samples == n.
+func TestSampleSourcesUniformWithoutReplacement(t *testing.T) {
+	const n, samples = 1000, 64
+	s1 := sampleSources(n, samples, 7)
+	if len(s1) != samples {
+		t.Fatalf("got %d sources, want %d", len(s1), samples)
+	}
+	seen := map[int32]bool{}
+	for _, v := range s1 {
+		if v < 0 || v >= n {
+			t.Fatalf("source %d out of range [0,%d)", v, n)
+		}
+		if seen[v] {
+			t.Fatalf("source %d drawn twice", v)
+		}
+		seen[v] = true
+	}
+	if s2 := sampleSources(n, samples, 7); !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same seed draws different sources")
+	}
+	if s3 := sampleSources(n, samples, 8); reflect.DeepEqual(s1, s3) {
+		t.Fatal("different seeds draw identical sources (suspicious)")
+	}
+	full := sampleSources(40, 40, 3)
+	perm := map[int32]bool{}
+	for _, v := range full {
+		perm[v] = true
+	}
+	if len(perm) != 40 {
+		t.Fatalf("samples == n drew %d distinct of 40 (not a permutation)", len(perm))
+	}
+}
+
+// TestComponentDiameterMatchesEccentricityOracle checks the
+// early-cutoff diameter against the definition: per component, the
+// maximum eccentricity over its members, constant across the
+// component.
+func TestComponentDiameterMatchesEccentricityOracle(t *testing.T) {
+	for name, g := range oracleGraphs() {
+		ecc := Eccentricity(g)
+		labels, count := graph.ConnectedComponents(g)
+		want := make([]float64, count)
+		for v, c := range labels {
+			if ecc[v] > want[c] {
+				want[c] = ecc[v]
+			}
+		}
+		got := ComponentDiameter(g)
+		for v := range got {
+			if got[v] != want[labels[v]] {
+				t.Fatalf("%s: diameter[%d] = %g, max component eccentricity %g",
+					name, v, got[v], want[labels[v]])
+			}
+		}
+	}
+}
+
+// TestKHopMatchesBFSOracle checks the khop fold against naive BFS
+// counting of vertices within KHopRadius hops, plus the bitwise
+// serial/parallel agreement.
+func TestKHopMatchesBFSOracle(t *testing.T) {
+	for name, g := range oracleGraphs() {
+		got := KHopSize(g)
+		for v := range got {
+			var want float64
+			for _, d := range graph.BFSDistances(g, int32(v)) {
+				if d >= 1 && d <= KHopRadius {
+					want++
+				}
+			}
+			if got[v] != want {
+				t.Fatalf("%s: khop[%d] = %g, BFS oracle %g", name, v, got[v], want)
+			}
+		}
+		if par := ParallelKHopSize(g); !reflect.DeepEqual(got, par) {
+			t.Fatalf("%s: parallel khop diverges bitwise from serial", name)
+		}
+	}
+}
+
+// TestApproximateSuiteResolvesThroughRegistry pins the registry wiring
+// of the new measures: names resolve, kinds are right, and Values runs
+// both serial and parallel paths.
+func TestApproximateSuiteResolvesThroughRegistry(t *testing.T) {
+	g := randomGraph(66, 200, 2.0)
+	for _, name := range []string{"betweenness-sampled", "diameter", "khop"} {
+		spec, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("measure %q not registered", name)
+		}
+		if spec.Kind != Vertex {
+			t.Fatalf("measure %q has kind %v, want vertex", name, spec.Kind)
+		}
+		for _, parallel := range []bool{false, true} {
+			if got := spec.Values(g, parallel); len(got) != g.NumVertices() {
+				t.Fatalf("measure %q (parallel=%v) returned %d values for %d vertices",
+					name, parallel, len(got), g.NumVertices())
+			}
+		}
+	}
+	if !DistanceBased("khop") {
+		t.Fatal("khop should join the shared distance pass")
+	}
+	if spec, _ := Lookup("edgebetweenness"); spec.Parallel == nil {
+		t.Fatal("edgebetweenness has no parallel variant registered")
+	}
+	fields, ok := SharedDistanceFields(g, []string{"khop", "eccentricity"}, false)
+	if !ok {
+		t.Fatal("shared pass refused khop+eccentricity")
+	}
+	if !reflect.DeepEqual(fields["khop"], KHopSize(g)) {
+		t.Fatal("shared-pass khop diverges from the standalone kernel")
+	}
+}
+
+// TestBetweennessSampledRegistryDeterministic pins that the registry's
+// sampled measure is reproducible run to run and across serial and
+// parallel paths — the property that makes it safe to serve.
+func TestBetweennessSampledRegistryDeterministic(t *testing.T) {
+	g := randomGraph(67, 800, 2.0)
+	spec, _ := Lookup("betweenness-sampled")
+	a := spec.Values(g, false)
+	b := spec.Values(g, false)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sampled measure differs between identical runs")
+	}
+	// Parallel vs serial is bitwise too: same pivots, same stripe merge.
+	if c := spec.Parallel(g); !reflect.DeepEqual(a, c) {
+		t.Fatal("sampled measure parallel path diverges bitwise from serial")
+	}
+}

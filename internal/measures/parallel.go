@@ -19,23 +19,19 @@ func stridedSources(w, n, workers int) []int32 {
 	return sources
 }
 
-// ParallelBetweennessCentrality computes exact Brandes betweenness
-// using all CPU cores: sources are sharded across workers, each worker
-// accumulates into a private vector with its own Brandes scratch, and
-// the shards are summed at the end. Results are deterministic (plain
-// summation per vertex of per-worker partial sums whose source
-// partition is fixed).
-//
-// On the multi-million-edge graphs of Table II even the parallel exact
-// computation is slow; combine with source sampling via
-// ApproxBetweennessCentrality when only the field's shape matters.
-// Graphs below the shared par.SerialCutoff run the serial kernel
-// directly — sharding overhead dominates there.
-func ParallelBetweennessCentrality(g *graph.Graph) []float64 {
+// PerSourceBetweennessCentrality is the retained PR 2 baseline: one
+// full Brandes pass per source (betweennessInto), sources sharded
+// across cores, each worker accumulating into a private vector with
+// its own scratch, shards summed in worker order at the end. It was
+// ParallelBetweennessCentrality before the batched MS-Brandes rewrite
+// and is kept — like PerSourceCloseness* for MS-BFS — as the ablation
+// baseline the bench harness times the batched engine against and as
+// the oracle the MS-Brandes equivalence tests run against.
+func PerSourceBetweennessCentrality(g *graph.Graph) []float64 {
 	n := g.NumVertices()
 	workers := par.Workers(n)
 	if workers <= 1 {
-		return BetweennessCentrality(g)
+		return perSourceBetweennessSerial(g)
 	}
 	partials := make([][]float64, workers)
 	var wg sync.WaitGroup
@@ -61,6 +57,17 @@ func ParallelBetweennessCentrality(g *graph.Graph) []float64 {
 		out[v] *= 0.5
 	}
 	return out
+}
+
+// perSourceBetweennessSerial runs the per-source baseline on one
+// goroutine over all sources.
+func perSourceBetweennessSerial(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	sources := make([]int32, n)
+	for i := range sources {
+		sources[i] = int32(i)
+	}
+	return betweennessFrom(g, sources, 1)
 }
 
 // perSourceBFS shards the vertices across cores and evaluates fold on
@@ -94,16 +101,14 @@ func perSourceBFS(g *graph.Graph, workers int, fold func(dist []int32) float64) 
 // fixed by vertex ID and each batch's integer-exact fold is
 // independent of scheduling.
 func ParallelClosenessCentrality(g *graph.Graph) []float64 {
-	clo, _, _ := msbfsFields(g, true, false, false, distanceWorkers(g, true))
-	return clo
+	return msbfsFields(g, distSel{close: true}, distanceWorkers(g, true)).clo
 }
 
 // ParallelHarmonicCentrality computes harmonic centrality on the
 // batched MS-BFS engine with 64-source batches strided across cores.
 // It agrees bitwise with HarmonicCentrality for any worker count.
 func ParallelHarmonicCentrality(g *graph.Graph) []float64 {
-	_, har, _ := msbfsFields(g, false, true, false, distanceWorkers(g, true))
-	return har
+	return msbfsFields(g, distSel{harm: true}, distanceWorkers(g, true)).har
 }
 
 // PerSourceClosenessCentrality is the retained PR 2 baseline: one full

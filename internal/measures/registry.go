@@ -107,12 +107,21 @@ const (
 
 // adaptiveBetweenness is the registry's betweenness policy, shared by
 // the serial and parallel entries: exact on small graphs, sampled
-// beyond ExactBetweennessLimit where exact cost is prohibitive.
-func adaptiveBetweenness(g *graph.Graph, exact func(*graph.Graph) []float64) []float64 {
+// beyond ExactBetweennessLimit where exact cost is prohibitive. Both
+// regimes run on the batched MS-Brandes engine, and both have true
+// multi-core variants — the sampled path no longer falls back to the
+// serial kernel on exactly the graphs where parallelism matters most.
+func adaptiveBetweenness(g *graph.Graph, parallel bool) []float64 {
 	if g.NumVertices() > ExactBetweennessLimit {
+		if parallel {
+			return ParallelApproxBetweennessCentrality(g, betweennessSamples, betweennessSeed)
+		}
 		return ApproxBetweennessCentrality(g, betweennessSamples, betweennessSeed)
 	}
-	return exact(g)
+	if parallel {
+		return ParallelBetweennessCentrality(g)
+	}
+	return BetweennessCentrality(g)
 }
 
 func init() {
@@ -133,12 +142,22 @@ func init() {
 	})
 	Register("betweenness", Spec{
 		Kind: Vertex,
-		Doc:  "Brandes betweenness; source-sampled beyond ExactBetweennessLimit vertices",
+		Doc:  "Brandes betweenness (batched MS-Brandes); source-sampled beyond ExactBetweennessLimit vertices",
 		Compute: func(g *graph.Graph) []float64 {
-			return adaptiveBetweenness(g, BetweennessCentrality)
+			return adaptiveBetweenness(g, false)
 		},
 		Parallel: func(g *graph.Graph) []float64 {
-			return adaptiveBetweenness(g, ParallelBetweennessCentrality)
+			return adaptiveBetweenness(g, true)
+		},
+	})
+	Register("betweenness-sampled", Spec{
+		Kind: Vertex,
+		Doc:  "sampled-pivot betweenness: 512 seeded pivots scaled n/k, batched MS-Brandes at every size",
+		Compute: func(g *graph.Graph) []float64 {
+			return ApproxBetweennessCentrality(g, betweennessSamples, betweennessSeed)
+		},
+		Parallel: func(g *graph.Graph) []float64 {
+			return ParallelApproxBetweennessCentrality(g, betweennessSamples, betweennessSeed)
 		},
 	})
 	Register("closeness", Spec{
@@ -158,6 +177,17 @@ func init() {
 		Doc:      "eccentricity: max BFS distance within the vertex's component (batched MS-BFS)",
 		Compute:  Eccentricity,
 		Parallel: ParallelEccentricity,
+	})
+	Register("diameter", Spec{
+		Kind:    Vertex,
+		Doc:     "component diameter: batched max-eccentricity with 2·radius early cutoff",
+		Compute: ComponentDiameter,
+	})
+	Register("khop", Spec{
+		Kind:     Vertex,
+		Doc:      "k-hop neighborhood size: vertices within 3 hops (batched MS-BFS)",
+		Compute:  KHopSize,
+		Parallel: ParallelKHopSize,
 	})
 	Register("pagerank", Spec{
 		Kind: Vertex,
@@ -189,8 +219,9 @@ func init() {
 		Compute: TrussNumbersFloat,
 	})
 	Register("edgebetweenness", Spec{
-		Kind:    Edge,
-		Doc:     "exact per-edge betweenness centrality",
-		Compute: EdgeBetweennessCentrality,
+		Kind:     Edge,
+		Doc:      "exact per-edge betweenness centrality",
+		Compute:  EdgeBetweennessCentrality,
+		Parallel: ParallelEdgeBetweennessCentrality,
 	})
 }

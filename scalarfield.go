@@ -79,7 +79,8 @@ func TrussNumbers(g *Graph) []float64 { return measures.TrussNumbersFloat(g) }
 // DegreeCentrality returns each vertex's degree.
 func DegreeCentrality(g *Graph) []float64 { return measures.DegreeCentrality(g) }
 
-// BetweennessCentrality returns exact Brandes betweenness.
+// BetweennessCentrality returns exact Brandes betweenness, computed
+// on the batched MS-Brandes engine (64 sources per traversal).
 func BetweennessCentrality(g *Graph) []float64 { return measures.BetweennessCentrality(g) }
 
 // ApproxBetweennessCentrality estimates betweenness from sampled
@@ -87,6 +88,14 @@ func BetweennessCentrality(g *Graph) []float64 { return measures.BetweennessCent
 func ApproxBetweennessCentrality(g *Graph, samples int, seed int64) []float64 {
 	return measures.ApproxBetweennessCentrality(g, samples, seed)
 }
+
+// ComponentDiameter returns, per vertex, the diameter of its connected
+// component, via batched max-eccentricity with an early cutoff.
+func ComponentDiameter(g *Graph) []float64 { return measures.ComponentDiameter(g) }
+
+// KHopSize returns, per vertex, the number of other vertices within
+// measures.KHopRadius hops.
+func KHopSize(g *Graph) []float64 { return measures.KHopSize(g) }
 
 // ClosenessCentrality returns component-normalized closeness.
 func ClosenessCentrality(g *Graph) []float64 { return measures.ClosenessCentrality(g) }
