@@ -47,6 +47,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -66,6 +67,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/query"
 	"repro/internal/render"
+	"repro/internal/resilience"
 	"repro/internal/shard"
 	"repro/internal/terrain"
 )
@@ -87,11 +89,26 @@ func main() {
 			"this node's name in a shard fleet; requires -peers")
 		peers = flag.String("peers", "",
 			"comma-separated id=url fleet members, e.g. a=http://host1:8080,b=http://host2:8080 (must include -shard-id)")
+		forwardTimeout = flag.Duration("forward-timeout", 15*time.Minute,
+			"end-to-end timeout for requests forwarded to the owning shard (also the health-probe client timeout); generous because an owner analyzing a big dataset legitimately holds forwards for minutes")
+		maxAnalyses = flag.Int("max-analyses", 4,
+			"admission control: concurrent analyses bound (0 = unlimited); excess flights beyond the queue are shed with 503 Retry-After")
+		analysisQueue = flag.Int("analysis-queue", 16,
+			"admission control: flights allowed to wait for an analysis slot before shedding starts")
+		breakerThreshold = flag.Int("breaker-threshold", 3,
+			"consecutive forward/probe failures that open a peer's circuit breaker")
+		breakerCooldown = flag.Duration("breaker-cooldown", 2*time.Second,
+			"base cooldown of an open peer breaker before a half-open probe (doubles per repeated trip)")
+		probeInterval = flag.Duration("probe-interval", 5*time.Second,
+			"active /healthz probe period per peer (backs off exponentially while a peer is down)")
 	)
 	flag.Parse()
 	srv, err := newServer(serverConfig{
 		input: *input, dataset: *dataset, scale: *scale, seed: *seed,
 		measure: *measure, colorBy: *colorBy, bins: *bins, storeDir: *storeDir,
+		forwardTimeout: *forwardTimeout,
+		maxAnalyses:    *maxAnalyses, analysisQueue: *analysisQueue,
+		breakerThreshold: *breakerThreshold, breakerCooldown: *breakerCooldown,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
@@ -112,7 +129,9 @@ func main() {
 			names = append(names, name)
 		}
 		srv.setShard(*shardID, shard.New(names, 0), peerURLs)
-		log.Printf("shard %s in a %d-node ring", *shardID, len(names))
+		stopProbes := srv.startHealthProbes(resilience.ProbeOptions{Interval: *probeInterval})
+		defer stopProbes()
+		log.Printf("shard %s in a %d-node ring (probing peers every %v)", *shardID, len(names), *probeInterval)
 	}
 	snap, err := srv.snapshot()
 	if err != nil {
@@ -181,6 +200,17 @@ type server struct {
 	shardSelf string
 	ring      *shard.Ring
 	peerURLs  map[string]string
+
+	// breakers holds one circuit breaker per peer base URL, shared by
+	// the forwarding path (passive outcomes) and the active health-probe
+	// loops, so either signal can open a peer and either can close it.
+	breakers *resilience.BreakerSet
+	// forwardClient is the HTTP client for forwarded batch queries
+	// (fault-injectable in tests); probeClient is a plain client for
+	// /healthz probes, kept separate so probe traffic never consumes
+	// fault-injection schedule entries meant for forwards.
+	forwardClient *http.Client
+	probeClient   *http.Client
 }
 
 // serverConfig collects newServer's startup parameters (the flags).
@@ -195,6 +225,25 @@ type serverConfig struct {
 	storeDir string
 	// onAnalyze is a test/metrics hook forwarded to the engine.
 	onAnalyze func(query.Key)
+
+	// forwardTimeout bounds forwarded batch queries and health probes
+	// end-to-end (0 = 15 minutes, matching the -forward-timeout flag).
+	forwardTimeout time.Duration
+	// maxAnalyses/analysisQueue configure admission control (0 max =
+	// unlimited, no shedding).
+	maxAnalyses   int
+	analysisQueue int
+	// breakerThreshold/breakerCooldown configure per-peer circuit
+	// breakers (0 = resilience package defaults).
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	// store overrides the snapshot store (tests wrap a DiskStore in a
+	// fault injector); when set, storeDir is ignored.
+	store query.SnapshotStore
+	// forwardClient overrides the forwarding HTTP client (tests inject
+	// a faulty transport). The probe client is always built from
+	// forwardTimeout, never overridden, so probes stay deterministic.
+	forwardClient *http.Client
 }
 
 // setShard joins the server to a shard fleet: self's name, the
@@ -246,8 +295,8 @@ func newServer(cfg serverConfig) (*server, error) {
 		name = cfg.dataset
 	}
 
-	var store query.SnapshotStore
-	if cfg.storeDir != "" {
+	store := cfg.store
+	if store == nil && cfg.storeDir != "" {
 		// Disk-backed snapshots: analyses survive restarts, at the cost
 		// of an encode per insert and a decode per cold hit.
 		store, err = query.NewDiskStore(cfg.storeDir, 0)
@@ -255,12 +304,32 @@ func newServer(cfg serverConfig) (*server, error) {
 			return nil, err
 		}
 	}
+	forwardTimeout := cfg.forwardTimeout
+	if forwardTimeout <= 0 {
+		// Finite but generous: an owner analyzing a big stand-in can
+		// legitimately hold a forwarded request for minutes (the viewer
+		// polls up to 10), but a hung owner must eventually trip the
+		// local fallback instead of wedging relays forever.
+		forwardTimeout = 15 * time.Minute
+	}
+	forwardClient := cfg.forwardClient
+	if forwardClient == nil {
+		forwardClient = &http.Client{Timeout: forwardTimeout}
+	}
 	scale, seed := cfg.scale, cfg.seed
 	s := &server{
 		bins: cfg.bins,
+		breakers: resilience.NewBreakerSet(resilience.BreakerConfig{
+			Threshold: cfg.breakerThreshold,
+			Cooldown:  cfg.breakerCooldown,
+		}),
+		forwardClient: forwardClient,
+		probeClient:   &http.Client{Timeout: forwardTimeout},
 		engine: query.NewEngine(query.Options{
-			Store:     store,
-			OnAnalyze: cfg.onAnalyze,
+			Store:                 store,
+			OnAnalyze:             cfg.onAnalyze,
+			MaxConcurrentAnalyses: cfg.maxAnalyses,
+			MaxAnalysisQueue:      cfg.analysisQueue,
 			// Any Table I dataset the viewer asks for later is
 			// generated on demand at the startup scale and seed. A
 			// generation error here can only be an unknown name —
@@ -408,15 +477,63 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/select", s.handleSelect)
 	mux.HandleFunc("/spectrum", s.handleSpectrum)
 	mux.HandleFunc("/measure", s.handleMeasure)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/api/v1/query", &query.Handler{
 		Engine: s.engine, Defaults: s.currentKey, Route: s.route,
-		// Finite but generous: an owner analyzing a big stand-in can
-		// legitimately hold a forwarded request for minutes (the viewer
-		// polls up to 10), but a hung owner must eventually trip the
-		// local fallback instead of wedging relays forever.
-		Client: &http.Client{Timeout: 15 * time.Minute},
+		Client:   s.forwardClient,
+		Breakers: s.breakers,
+		// Serving a marked-stale snapshot beats a 500 when a re-analysis
+		// fails under load or injected faults.
+		AllowStale: true,
 	})
 	return mux
+}
+
+// handleHealthz answers active fleet probes (and human curiosity): 200
+// with this node's shard identity and its view of every peer breaker.
+// The handler deliberately touches no engine state — a node drowning in
+// analyses is still "up" for routing purposes; admission control sheds
+// load, the breaker layer handles nodes that stop answering at all.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	self := s.shardSelf
+	s.mu.RUnlock()
+	writeJSON(w, struct {
+		Status string                             `json:"status"`
+		Shard  string                             `json:"shard,omitempty"`
+		Peers  map[string]resilience.BreakerState `json:"peers,omitempty"`
+	}{Status: "ok", Shard: self, Peers: s.breakers.States()})
+}
+
+// startHealthProbes launches one active /healthz probe loop per fleet
+// peer (excluding self), each reporting into the same per-peer breaker
+// the forwarding path uses: a down peer is discovered within a probe
+// interval even with no traffic, and — more importantly — a recovered
+// peer is rediscovered without burning a live request on the half-open
+// probe. Returns a stop function that halts the loops and waits for
+// them to exit. Call after setShard.
+func (s *server) startHealthProbes(opts resilience.ProbeOptions) (stop func()) {
+	s.mu.RLock()
+	self, peerURLs := s.shardSelf, s.peerURLs
+	s.mu.RUnlock()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for id, base := range peerURLs {
+		if id == self {
+			continue
+		}
+		b := s.breakers.For(base)
+		probe := resilience.HTTPProbe(s.probeClient, base+"/healthz")
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resilience.ProbeLoop(ctx, b, probe, opts)
+		}()
+	}
+	return func() {
+		cancel()
+		wg.Wait()
+	}
 }
 
 // handleMeasure switches the served measure and/or dataset:

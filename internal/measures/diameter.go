@@ -32,8 +32,8 @@ func ComponentDiameter(g *graph.Graph) []float64 {
 		return out
 	}
 	labels, count := graph.ConnectedComponents(g)
-	lb := make([]int32, count)      // max eccentricity seen: the diameter lower bound
-	minEcc := make([]int32, count)  // min eccentricity seen: 2·minEcc is the upper bound
+	lb := make([]int32, count)     // max eccentricity seen: the diameter lower bound
+	minEcc := make([]int32, count) // min eccentricity seen: 2·minEcc is the upper bound
 	remaining := make([]int32, count)
 	resolved := make([]bool, count)
 	for i := range minEcc {

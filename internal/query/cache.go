@@ -2,6 +2,7 @@ package query
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 )
@@ -166,35 +167,62 @@ func newGroupOver[K comparable, V any](store kvStore[K, V]) *group[K, V] {
 	}
 }
 
-// Do implements cached singleflight as described on group.
+// Do implements cached singleflight as described on group, waiting
+// without a deadline.
 func (g *group[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	return g.DoCtx(context.Background(), key, compute)
+}
+
+// DoCtx is Do with a bounded wait: when ctx ends before the flight
+// completes, the caller gets ctx's error immediately — but the flight
+// itself is NOT cancelled. It runs on its own goroutine, detached from
+// every requester, so an abandoned request (a client that hung up, a
+// deadline that fired) cannot pin or kill a computation other waiters
+// are still counting on; the result lands in the cache for whoever
+// asks next. Compute work is bounded by the engine's admission gate,
+// not by request lifetimes.
+func (g *group[K, V]) DoCtx(ctx context.Context, key K, compute func() (V, error)) (V, error) {
 	if v, ok := g.cache.Get(key); ok {
 		return v, nil
 	}
 	g.mu.Lock()
-	if c, ok := g.flight[key]; ok {
-		g.mu.Unlock()
-		<-c.done
-		return c.val, c.err
+	c, leading := g.flight[key]
+	if !leading {
+		// Re-probe under the flight lock: a flight that completed
+		// between the first probe and here has already been removed
+		// from the map but left its result in the store.
+		if v, ok := g.cache.Get(key); ok {
+			g.mu.Unlock()
+			return v, nil
+		}
+		c = &flightCall[V]{done: make(chan struct{})}
+		g.flight[key] = c
+		go g.lead(key, c, compute)
 	}
-	// Re-probe under the flight lock: a flight that completed between
-	// the first probe and here has already been removed from the map
-	// but left its result in the store.
-	if v, ok := g.cache.Get(key); ok {
-		g.mu.Unlock()
-		return v, nil
-	}
-	c := &flightCall[V]{done: make(chan struct{})}
-	g.flight[key] = c
 	g.mu.Unlock()
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		var zero V
+		return zero, ctx.Err()
+	}
+}
 
-	// The flight entry is cleaned up even if compute panics: an HTTP
-	// server recovers handler panics and keeps serving, so a leaked
-	// entry would wedge every waiter and future requester of this key
-	// forever. Waiters of a panicked leader get an error; the panic
-	// itself propagates on the leader's goroutine.
+// lead runs one flight's computation on its own goroutine. The flight
+// entry is cleaned up even if compute panics — a leaked entry would
+// wedge every waiter and future requester of this key forever — and
+// the panic is converted to an error for all waiters rather than
+// crashing the process (the leader no longer runs on an HTTP handler
+// goroutine that net/http would recover).
+func (g *group[K, V]) lead(key K, c *flightCall[V], compute func() (V, error)) {
 	completed := false
 	defer func() {
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("query: computation panicked: %v", r)
+		} else if !completed {
+			c.err = fmt.Errorf("query: computation panicked")
+		}
 		if completed && c.err == nil {
 			// Store insertion happens before the flight entry is
 			// removed, so the re-probe above can never miss both.
@@ -203,14 +231,10 @@ func (g *group[K, V]) Do(key K, compute func() (V, error)) (V, error) {
 		g.mu.Lock()
 		delete(g.flight, key)
 		g.mu.Unlock()
-		if !completed {
-			c.err = fmt.Errorf("query: computation panicked")
-		}
 		close(c.done)
 	}()
 	c.val, c.err = compute()
 	completed = true
-	return c.val, c.err
 }
 
 // evict removes every cached entry whose key satisfies pred. In-flight

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -11,6 +12,7 @@ import (
 	scalarfield "repro"
 	"repro/internal/contour"
 	"repro/internal/graph"
+	"repro/internal/resilience"
 	"repro/internal/stream"
 )
 
@@ -45,6 +47,19 @@ type Options struct {
 	// metrics hook; it runs on the leader goroutine outside all engine
 	// locks except the analyzer's.
 	OnAnalyze func(Key)
+	// MaxConcurrentAnalyses, when > 0, is admission control: at most
+	// this many analyses (graph resolution + pipeline) run at once,
+	// with up to MaxAnalysisQueue more flights waiting for a slot.
+	// Flights beyond both bounds fail fast with
+	// resilience.ErrOverloaded — which the HTTP layer maps to 503 with
+	// Retry-After — instead of growing goroutines and held graphs
+	// without bound under a miss storm. 0 means unlimited (the
+	// pre-admission behavior).
+	MaxConcurrentAnalyses int
+	// MaxAnalysisQueue bounds the admission wait queue; meaningful
+	// only with MaxConcurrentAnalyses > 0. 0 means no queue: every
+	// flight beyond the concurrency bound is shed.
+	MaxAnalysisQueue int
 }
 
 // Engine produces and caches Snapshots. All methods are safe for
@@ -79,6 +94,14 @@ type Engine struct {
 	// see genGuardedStore for the case analysis.
 	genMu sync.Mutex
 	gens  map[string]uint64
+
+	// gate is admission control over analyses; nil means unlimited.
+	gate *resilience.Gate
+	// stale is the stale-if-error side cache: the last snapshot this
+	// process analyzed per key, deliberately NOT evicted by Invalidate
+	// — it exists precisely to serve explicitly degraded answers when
+	// the fresh path fails or sheds. See StaleSnapshot.
+	stale *memStore[Key, *Snapshot]
 
 	analyses atomic.Int64
 }
@@ -134,6 +157,10 @@ func NewEngine(opts Options) *Engine {
 		gens:       make(map[string]uint64),
 		fields:     newGroup[fieldKey, fieldEntry](maxFields),
 		graphs:     newGroup[string, *graph.Graph](maxGraphs),
+		stale:      newMemStore[Key, *Snapshot](maxSnaps),
+	}
+	if opts.MaxConcurrentAnalyses > 0 {
+		e.gate = resilience.NewGate(opts.MaxConcurrentAnalyses, opts.MaxAnalysisQueue)
 	}
 	e.snaps = newGroupOver[Key, *Snapshot](&genGuardedStore{e: e, store: store})
 	return e
@@ -171,6 +198,13 @@ func (g *genGuardedStore) Add(key Key, s *Snapshot) {
 	//
 	// Either way a stale snapshot never survives; at worst both sides
 	// evict once.
+	//
+	// The stale-if-error side cache is fed unconditionally, BEFORE the
+	// generation check: a snapshot that lost the race to an Invalidate
+	// is exactly what "last known good answer" means once the fresh
+	// path starts failing. It is served only explicitly marked
+	// degraded — see StaleSnapshot.
+	g.e.stale.Add(key, s)
 	g.e.genMu.Lock()
 	current := g.e.gens[key.Dataset] == s.gen
 	g.e.genMu.Unlock()
@@ -275,6 +309,28 @@ func (e *Engine) Snapshot(key Key) (*Snapshot, error) {
 	return e.snaps.Do(key, func() (*Snapshot, error) { return e.analyze(key) })
 }
 
+// SnapshotCtx is Snapshot with a bounded wait: when ctx ends first,
+// the caller gets ctx's error immediately while the analysis itself
+// keeps running detached — coalesced waiters that are still alive get
+// its result, and the snapshot lands in the cache for the next
+// request. An abandoned HTTP request therefore never pins (or kills)
+// an analysis goroutine; analysis concurrency is bounded by the
+// admission gate, not by request lifetimes.
+func (e *Engine) SnapshotCtx(ctx context.Context, key Key) (*Snapshot, error) {
+	return e.snaps.DoCtx(ctx, key, func() (*Snapshot, error) { return e.analyze(key) })
+}
+
+// StaleSnapshot returns the last snapshot this process analyzed for
+// key, if any — including one produced before an Invalidate. It is
+// the stale-if-error fallback: when the fresh path fails (analysis
+// error, admission shed), the HTTP layer serves this answer with an
+// explicit `degraded: stale` marker rather than an opaque error.
+// Never serve it unmarked: unlike a cache hit it may predate the
+// dataset's current generation.
+func (e *Engine) StaleSnapshot(key Key) (*Snapshot, bool) {
+	return e.stale.Get(key)
+}
+
 // Cached reports whether key currently has a cached snapshot.
 func (e *Engine) Cached(key Key) bool { return e.snaps.cached(key) }
 
@@ -354,6 +410,20 @@ func ValidateKey(key Key) error {
 func (e *Engine) analyze(key Key) (*Snapshot, error) {
 	if err := ValidateKey(key); err != nil {
 		return nil, err
+	}
+	// Admission control: claim an analysis slot (or a bounded queue
+	// position) before touching the graph — the expensive part of a
+	// flight is everything from graph resolution on. A shed flight
+	// fails all its coalesced waiters with ErrOverloaded; the error is
+	// not cached, so the next request retries. The wait itself is
+	// deliberately not bound by any requester's context: the flight is
+	// detached and its result benefits future requests.
+	if e.gate != nil {
+		release, err := e.gate.Acquire(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("query: analysis of %v shed: %w", key, err)
+		}
+		defer release()
 	}
 	// The generation is captured before the graph resolves: an
 	// Invalidate that lands anywhere after this point makes the

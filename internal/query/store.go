@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"hash/fnv"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -74,6 +75,13 @@ const DefaultOpenSnapshots = 8
 // snapExt is the snapshot file suffix.
 const snapExt = ".snap"
 
+// corruptPrefix marks quarantined snapshot files: a file that failed
+// to decode is renamed corrupt-<name> instead of deleted, so an
+// operator can inspect what went bad while lookups stop paying a
+// doomed re-decode on every request. Quarantined files are skipped by
+// the startup scan and never served.
+const corruptPrefix = "corrupt-"
+
 // NewDiskStore opens (creating if needed) a snapshot directory and
 // indexes the snapshots already in it. maxOpen bounds the decoded
 // open-entry LRU (<= 0 means DefaultOpenSnapshots). Files that fail to
@@ -105,6 +113,11 @@ func NewDiskStore(dir string, maxOpen int) (*DiskStore, error) {
 		// finished): harmless but otherwise immortal, so reap it here.
 		if strings.HasPrefix(name, "tmp-") {
 			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		// Quarantined corrupt files are kept for inspection but never
+		// indexed or served.
+		if strings.HasPrefix(name, corruptPrefix) {
 			continue
 		}
 		if !strings.HasSuffix(name, snapExt) {
@@ -165,7 +178,9 @@ func (s *DiskStore) Get(key Key) (*Snapshot, bool) {
 
 // decodeFile reads and decodes one snapshot file, verifying the
 // decoded identity: filenames are hashes, and a hash collision must
-// read as a miss, not as the wrong analysis.
+// read as a miss, not as the wrong analysis. A file that fails to
+// decode is quarantined, not re-decoded on the next lookup; a file
+// that fails to open (deleted behind our back) is simply forgotten.
 func (s *DiskStore) decodeFile(key Key, name string) (*Snapshot, bool) {
 	f, err := os.Open(filepath.Join(s.dir, name))
 	if err != nil {
@@ -174,8 +189,12 @@ func (s *DiskStore) decodeFile(key Key, name string) (*Snapshot, bool) {
 	}
 	snap, err := DecodeSnapshot(f)
 	f.Close()
-	if err != nil || snap.Key != key {
-		s.drop(key, name)
+	if err != nil {
+		s.quarantine(key, name, err)
+		return nil, false
+	}
+	if snap.Key != key {
+		s.quarantine(key, name, fmt.Errorf("decoded key %v does not match %v", snap.Key, key))
 		return nil, false
 	}
 	return snap, true
@@ -192,11 +211,35 @@ func (s *DiskStore) drop(key Key, name string) {
 	os.Remove(filepath.Join(s.dir, name))
 }
 
+// quarantine renames a corrupt snapshot file to corrupt-<name> and
+// forgets its index entry, so the bad bytes are kept for inspection
+// but never decoded again — without it, every lookup of the key would
+// re-read and re-fail on the same file. The index delete is
+// first-wins under the lock, so exactly one goroutine renames and
+// logs per file even under concurrent lookups.
+func (s *DiskStore) quarantine(key Key, name string, cause error) {
+	s.mu.Lock()
+	cur, ok := s.index[key]
+	if ok && cur == name {
+		delete(s.index, key)
+	}
+	s.mu.Unlock()
+	if !ok || cur != name {
+		return // another lookup already quarantined (or Add replaced) it
+	}
+	src := filepath.Join(s.dir, name)
+	if err := os.Rename(src, filepath.Join(s.dir, corruptPrefix+name)); err != nil {
+		// Can't even rename it: remove so it cannot wedge the key.
+		os.Remove(src)
+	}
+	log.Printf("query: quarantined corrupt snapshot file %s (key %v): %v", name, key, cause)
+}
+
 // Add encodes the snapshot to a temp file and renames it into place.
 // On an encode or write failure the snapshot is still kept in the
 // open-entry LRU — persistence is best-effort, serving is not.
 func (s *DiskStore) Add(key Key, snap *Snapshot) {
-	name := snapshotFileName(key)
+	name := SnapshotFileName(key)
 	persisted := false
 	tmp, err := os.CreateTemp(s.dir, "tmp-*")
 	if err == nil {
@@ -260,10 +303,12 @@ func (s *DiskStore) Len() int {
 	return n
 }
 
-// snapshotFileName derives a stable filename from the key's shard
-// string. Collisions are tolerated (Get verifies the decoded key), so
-// a 64-bit hash is plenty.
-func snapshotFileName(key Key) string {
+// SnapshotFileName derives a DiskStore's stable filename for a key
+// from its shard string. Collisions are tolerated (Get verifies the
+// decoded key), so a 64-bit hash is plenty. Exported for operational
+// tooling and the fault-injection harness, which corrupts specific
+// entries by path.
+func SnapshotFileName(key Key) string {
 	h := fnv.New64a()
 	h.Write([]byte(key.ShardString()))
 	return fmt.Sprintf("%016x%s", h.Sum64(), snapExt)

@@ -256,8 +256,19 @@ func TestDiskStoreCorruptFileIsAMiss(t *testing.T) {
 	if _, ok := store.Get(key); ok {
 		t.Fatal("corrupt snapshot file served as a hit")
 	}
+	// The bad bytes are quarantined for inspection, not deleted — and
+	// the original path is gone, so no lookup ever re-decodes them.
 	if _, err := os.Stat(files[0]); !os.IsNotExist(err) {
-		t.Fatal("corrupt snapshot file was not dropped")
+		t.Fatal("corrupt snapshot file left at its original path")
+	}
+	quarantined := filepath.Join(dir, corruptPrefix+filepath.Base(files[0]))
+	if _, err := os.Stat(quarantined); err != nil {
+		t.Fatalf("corrupt snapshot file was not quarantined: %v", err)
+	}
+	// A second lookup is a plain miss: the index entry is gone, no
+	// decode is attempted, the quarantined file stays put.
+	if _, ok := store.Get(key); ok {
+		t.Fatal("quarantined key served as a hit")
 	}
 	// The engine transparently re-analyzes.
 	if _, err := e.Snapshot(key); err != nil {
@@ -265,6 +276,16 @@ func TestDiskStoreCorruptFileIsAMiss(t *testing.T) {
 	}
 	if got := e.AnalysisCount(); got != 2 {
 		t.Fatalf("%d analyses after corrupt-file miss, want 2", got)
+	}
+	// A restarted store skips the quarantined file instead of
+	// re-indexing (or deleting) it.
+	store2, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = store2
+	if _, err := os.Stat(quarantined); err != nil {
+		t.Fatalf("startup scan disturbed the quarantined file: %v", err)
 	}
 }
 

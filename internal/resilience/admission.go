@@ -1,0 +1,82 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrOverloaded is returned by Gate.Acquire when both the concurrency
+// slots and the wait queue are full: the caller should shed the
+// request (HTTP 503 with Retry-After) rather than queue it. It is a
+// sentinel — match with errors.Is.
+var ErrOverloaded = errors.New("resilience: overloaded, retry later")
+
+// Gate is admission control: a bounded semaphore of concurrency slots
+// plus a bounded wait queue in front of it. At most `concurrent`
+// holders run at once; up to `queue` more callers wait for a slot;
+// anyone beyond that is refused immediately with ErrOverloaded. The
+// two bounds together cap the goroutines and memory a miss storm can
+// pin: excess load is shed, never accumulated. Safe for concurrent
+// use.
+type Gate struct {
+	slots   chan struct{}
+	maxWait int
+
+	mu      sync.Mutex
+	waiting int
+}
+
+// NewGate returns a gate with the given concurrency and queue bounds.
+// concurrent < 1 is raised to 1; queue < 0 is treated as 0 (no
+// waiting: every caller beyond the slots is shed).
+func NewGate(concurrent, queue int) *Gate {
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Gate{
+		slots:   make(chan struct{}, concurrent),
+		maxWait: concurrent + queue,
+	}
+}
+
+// Acquire claims a concurrency slot, waiting in the bounded queue if
+// none is free. It returns the release function to call when the
+// guarded work finishes, or ErrOverloaded when the queue is full, or
+// ctx.Err() if the context ends while waiting. The overload check is
+// immediate — a shed request never blocks at all.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	g.mu.Lock()
+	if g.waiting >= g.maxWait {
+		g.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	g.waiting++
+	g.mu.Unlock()
+	leave := func() {
+		g.mu.Lock()
+		g.waiting--
+		g.mu.Unlock()
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return func() {
+			<-g.slots
+			leave()
+		}, nil
+	case <-ctx.Done():
+		leave()
+		return nil, ctx.Err()
+	}
+}
+
+// Waiting reports how many callers currently hold a slot or wait for
+// one — an observability hook for health endpoints and tests.
+func (g *Gate) Waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiting
+}
