@@ -65,6 +65,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/datasets"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/query"
 	"repro/internal/render"
 	"repro/internal/resilience"
@@ -85,6 +86,10 @@ func main() {
 		bins     = flag.Int("bins", 0, "simplification bins (0 = exact)")
 		storeDir = flag.String("store-dir", "",
 			"persist snapshots to this directory (served across restarts); empty = in-memory LRU")
+		mmapGraphs = flag.Bool("mmap-graphs", false,
+			"serve disk-store cold hits with the graph section mmap'd in place instead of copied to the heap (requires -store-dir)")
+		partitionBytes = flag.Int("partition-bytes", 0,
+			"cache-locality budget per analysis partition in bytes of CSR data (0 = no partitioning); outputs are bitwise identical for any value")
 		shardID = flag.String("shard-id", "",
 			"this node's name in a shard fleet; requires -peers")
 		peers = flag.String("peers", "",
@@ -103,9 +108,11 @@ func main() {
 			"active /healthz probe period per peer (backs off exponentially while a peer is down)")
 	)
 	flag.Parse()
+	par.SetPartitionBytes(*partitionBytes)
 	srv, err := newServer(serverConfig{
 		input: *input, dataset: *dataset, scale: *scale, seed: *seed,
 		measure: *measure, colorBy: *colorBy, bins: *bins, storeDir: *storeDir,
+		mmapGraphs:     *mmapGraphs,
 		forwardTimeout: *forwardTimeout,
 		maxAnalyses:    *maxAnalyses, analysisQueue: *analysisQueue,
 		breakerThreshold: *breakerThreshold, breakerCooldown: *breakerCooldown,
@@ -140,6 +147,7 @@ func main() {
 	}
 	log.Printf("terrain viewer on http://%s/ (%s, measure=%s, %d super nodes)",
 		*addr, snap.Key.Dataset, snap.Key.Measure, snap.Terrain.Tree.Len())
+	snap.Release()
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
 }
 
@@ -223,6 +231,9 @@ type serverConfig struct {
 	colorBy  string
 	bins     int
 	storeDir string
+	// mmapGraphs enables the disk store's zero-copy cold-hit path:
+	// graph sections are mmap'd and served in place.
+	mmapGraphs bool
 	// onAnalyze is a test/metrics hook forwarded to the engine.
 	onAnalyze func(query.Key)
 
@@ -298,8 +309,10 @@ func newServer(cfg serverConfig) (*server, error) {
 	store := cfg.store
 	if store == nil && cfg.storeDir != "" {
 		// Disk-backed snapshots: analyses survive restarts, at the cost
-		// of an encode per insert and a decode per cold hit.
-		store, err = query.NewDiskStore(cfg.storeDir, 0)
+		// of an encode per insert and a decode per cold hit. In mmap
+		// mode the cold-hit graph is served straight off the file.
+		store, err = query.NewDiskStoreOptions(cfg.storeDir,
+			query.DiskStoreOptions{MmapGraphs: cfg.mmapGraphs})
 		if err != nil {
 			return nil, err
 		}
@@ -381,9 +394,12 @@ func (s *server) setSelection(dataset, measure, colorBy string, rememberColor, b
 		return false, err
 	}
 	if block || s.engine.Cached(key) {
-		if _, err := s.engine.Snapshot(key); err != nil {
+		snap, err := s.engine.Snapshot(key)
+		if err != nil {
 			return false, err
 		}
+		snap.Release() // warmed the cache; this handler keeps nothing
+
 		s.mu.Lock()
 		s.current, s.want = key, key
 		s.bgErr = ""
@@ -401,7 +417,10 @@ func (s *server) setSelection(dataset, measure, colorBy string, rememberColor, b
 	}
 	s.mu.Unlock()
 	go func() {
-		_, err := s.engine.Snapshot(key)
+		snap, err := s.engine.Snapshot(key)
+		if err == nil {
+			snap.Release() // warmed the cache; nothing retained here
+		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if s.want != key {
@@ -594,6 +613,7 @@ func (s *server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	defer snap.Release()
 	resp := struct {
 		Dataset          string   `json:"dataset"`
 		Measure          string   `json:"measure"`
@@ -637,6 +657,7 @@ func (s *server) handleTerrain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer snap.Release()
 	opts := render.Options{
 		Angle:  floatParam(r, "angle", 0.6),
 		Zoom:   floatParam(r, "zoom", 1),
@@ -655,6 +676,7 @@ func (s *server) handleTreemap(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer snap.Release()
 	size := intParam(r, "size", 480)
 	if size < 64 {
 		size = 64
@@ -676,6 +698,7 @@ func (s *server) handleLinked(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer snap.Release()
 	t := snap.Terrain
 	node, found := nodeAt(t, r)
 	if !found {
@@ -768,6 +791,7 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer snap.Release()
 	node, found := nodeAt(snap.Terrain, r)
 	if !found {
 		http.Error(w, "no node at the given point", http.StatusNotFound)
@@ -792,6 +816,7 @@ func (s *server) handlePeaks(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer snap.Release()
 	alpha := floatParam(r, "alpha", 0)
 	peaks := snap.Terrain.Peaks(alpha)
 	type peakJSON struct {
@@ -814,6 +839,7 @@ func (s *server) handleSpectrum(w http.ResponseWriter, _ *http.Request) {
 	if !ok {
 		return
 	}
+	defer snap.Release()
 	writeJSON(w, snap.Spectrum)
 }
 
@@ -896,6 +922,7 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer snap.Release()
 	data := struct {
 		Name         string
 		Nodes, Edges int

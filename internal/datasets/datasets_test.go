@@ -231,3 +231,28 @@ func TestScaleCountFloor(t *testing.T) {
 		t.Errorf("scaleCount: %d, want 500", got)
 	}
 }
+
+func TestGenerateRMATFamily(t *testing.T) {
+	g, err := Generate("rmat10", 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1<<10 {
+		t.Fatalf("rmat10 has %d vertices, want %d", g.NumVertices(), 1<<10)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("rmat10 generated no edges")
+	}
+	again, err := Generate("rmat10", 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != again.NumEdges() {
+		t.Fatal("rmat generation is not deterministic per seed")
+	}
+	for _, bad := range []string{"rmat", "rmat0", "rmat28", "rmatx"} {
+		if _, err := Generate(bad, 1, 7); err == nil {
+			t.Fatalf("Generate(%q) accepted an invalid rmat name", bad)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package datasets
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 import "repro/internal/graph"
@@ -72,12 +74,39 @@ func Lookup(name string) (Spec, error) {
 // what tests and examples use to stay fast), and factors above 1 grow
 // the stand-in beyond the published size — the configuration the
 // checked-in perf trajectories use to stress the traversal engines.
+//
+// Beyond Table I, Generate accepts the dynamic "rmat<k>" family
+// (k = 1..27): a recursive-matrix graph over 2^k vertices with
+// 16·2^k edge samples at the Graph500 parameters, the edge count
+// scaled by the scale factor. rmat20 and up produce arenas of
+// hundreds of megabytes — the sizes where the copy-vs-mmap gap of the
+// disk store's cold-hit path (and the partition budget's locality win
+// over mapped arenas) becomes visible, without shipping any dataset
+// file.
 func Generate(name string, scale float64, seed int64) (*graph.Graph, error) {
+	if k, ok := rmatScale(name); ok {
+		edges := scaleCount(16<<k, scale, 400)
+		return RMAT(k, edges, 0.57, 0.19, 0.19, seed), nil
+	}
 	spec, err := Lookup(name)
 	if err != nil {
 		return nil, err
 	}
 	return GenerateSpec(spec, scale, seed), nil
+}
+
+// rmatScale parses a dynamic "rmat<k>" dataset name, reporting the
+// log2 vertex count and whether the name is a member of the family.
+func rmatScale(name string) (int, bool) {
+	s, ok := strings.CutPrefix(name, "rmat")
+	if !ok {
+		return 0, false
+	}
+	k, err := strconv.Atoi(s)
+	if err != nil || k < 1 || k > 27 {
+		return 0, false
+	}
+	return k, true
 }
 
 // GenerateSpec builds the stand-in for an arbitrary Spec.

@@ -5,23 +5,87 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 )
 
-// Binary graph codec. A CSR graph is fully determined by its vertex
-// count and canonical edge list (U < V, strictly ascending), so the
-// wire form is exactly that:
+// Binary graph codecs.
+//
+// v1 (edge list): a CSR graph is fully determined by its vertex count
+// and canonical edge list (U < V, strictly ascending), so the wire
+// form is exactly that:
 //
 //	numVertices u32 | numEdges u32 | (u i32, v i32)* numEdges
 //
 // little-endian throughout. ReadBinary rebuilds the CSR arrays
-// directly from the validated canonical list — no re-sorting, no
-// dedup pass — so decoding costs one linear sweep, and the decoded
-// graph is structurally identical to the encoded one (same edge IDs,
-// same adjacency order), which is what lets a deserialized snapshot
-// answer queries byte-identically to the process that produced it.
+// edge by edge from the validated canonical list — an O(V+E)
+// decode that allocates and constructs a fresh arena.
+//
+// csr2 (arena): the graph's contiguous arena written verbatim (see
+// arena.go). Encoding is one Write of bytes the graph already holds;
+// decoding is header-validate + alias, no rebuild. WriteArena /
+// GraphFromArena are that codec; the snapshot container's csr2
+// section carries it. v1 stays the compatibility decoder for old
+// snapshots and the compact form for sparse interchange (16 bytes/edge
+// arena vs 8 bytes/edge edge list).
 
-// WriteBinary writes g in the binary edge-list form above.
+// DecodeLimits bounds what a v1 edge-list decode will accept before
+// allocating. Isolated vertices cost no payload bytes, so the declared
+// vertex count is the one header field whose decode cost (an O(V)
+// arena region) is NOT bounded by the bytes that actually arrive;
+// these limits keep a corrupt or hostile header's allocation under
+// control. The zero value means "use the defaults" — unchanged from
+// the historical hard-coded caps, and right for network or otherwise
+// untrusted reads. Trusted local loads (an operator feeding a huge
+// edge list they generated themselves) can raise them.
+//
+// csr2 arena decodes need no such limits: aliasing allocates nothing,
+// and the header's declared counts are checked against the bytes
+// actually present before any region is viewed.
+type DecodeLimits struct {
+	// MaxVertices caps the declared vertex count; 0 means
+	// DefaultMaxVertices.
+	MaxVertices int
+	// MaxEdges caps the declared edge count; 0 means DefaultMaxEdges.
+	MaxEdges int
+}
+
+// The historical v1 decode caps: 2^26 vertices (~67M, an order of
+// magnitude beyond Table II's largest graph) and 2^30 edges.
+const (
+	DefaultMaxVertices = 1 << 26
+	DefaultMaxEdges    = 1 << 30
+)
+
+// withDefaults fills zero fields with the default caps.
+func (l DecodeLimits) withDefaults() DecodeLimits {
+	if l.MaxVertices == 0 {
+		l.MaxVertices = DefaultMaxVertices
+	}
+	if l.MaxEdges == 0 {
+		l.MaxEdges = DefaultMaxEdges
+	}
+	return l
+}
+
+// checkBinarySizes validates that a graph's counts fit the v1 header's
+// u32 fields. Factored out of WriteBinary so the overflow guard is
+// testable without constructing a four-billion-vertex graph.
+func checkBinarySizes(n, m int) error {
+	if n < 0 || uint64(n) > math.MaxUint32 {
+		return fmt.Errorf("graph: %d vertices exceed the binary header's u32 range", n)
+	}
+	if m < 0 || uint64(m) > math.MaxUint32 {
+		return fmt.Errorf("graph: %d edges exceed the binary header's u32 range", m)
+	}
+	return nil
+}
+
+// WriteBinary writes g in the v1 binary edge-list form above. Counts
+// beyond the header's u32 range are an error, not a silent truncation.
 func WriteBinary(w io.Writer, g *Graph) error {
+	if err := checkBinarySizes(g.n, len(g.edges)); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	var head [8]byte
 	binary.LittleEndian.PutUint32(head[0:], uint32(g.n))
@@ -40,13 +104,28 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary decodes a graph written by WriteBinary, validating the
-// canonical-edge invariants before building the CSR. Corrupt input —
-// truncation, out-of-range endpoints, unsorted or duplicate edges —
-// returns an error; nothing panics. Memory stays proportional to the
-// bytes that actually arrive, so a hostile header cannot force a huge
-// allocation.
+// WriteArena writes g in the csr2 arena form: the contiguous arena
+// verbatim. On little-endian hosts this is a single Write of the bytes
+// the graph already holds — zero-copy encode.
+func WriteArena(w io.Writer, g *Graph) error {
+	_, err := w.Write(ArenaWireBytes(g))
+	return err
+}
+
+// ReadBinary decodes a v1 graph written by WriteBinary with the
+// default DecodeLimits; see ReadBinaryLimits.
 func ReadBinary(r io.Reader) (*Graph, error) {
+	return ReadBinaryLimits(r, DecodeLimits{})
+}
+
+// ReadBinaryLimits decodes a v1 graph written by WriteBinary,
+// validating the canonical-edge invariants before building the CSR.
+// Corrupt input — truncation, out-of-range endpoints, unsorted or
+// duplicate edges — returns an error; nothing panics. Memory stays
+// proportional to the bytes that actually arrive plus the lim-bounded
+// vertex region, so a hostile header cannot force a huge allocation.
+func ReadBinaryLimits(r io.Reader, lim DecodeLimits) (*Graph, error) {
+	lim = lim.withDefaults()
 	br := bufio.NewReader(r)
 	var head [8]byte
 	if _, err := io.ReadFull(br, head[:]); err != nil {
@@ -54,17 +133,9 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(head[0:]))
 	m := int(binary.LittleEndian.Uint32(head[4:]))
-	// The vertex cap is deliberately tighter than "fits in an int32":
-	// isolated vertices cost no payload bytes, so the declared count is
-	// the one header field whose decode cost (three O(n) CSR arrays) is
-	// NOT bounded by the bytes that actually arrive. 2^26 vertices
-	// (~67M, an order of magnitude beyond Table II's largest graph)
-	// keeps a corrupt or hostile header's allocation under control;
-	// raise it if genuinely larger graphs need to travel.
-	const maxVertices = 1 << 26
-	const maxEdges = 1 << 30
-	if n > maxVertices || m > maxEdges {
-		return nil, fmt.Errorf("graph: implausible binary sizes %d vertices / %d edges", n, m)
+	if n > lim.MaxVertices || m > lim.MaxEdges {
+		return nil, fmt.Errorf("graph: implausible binary sizes %d vertices / %d edges (limits %d / %d)",
+			n, m, lim.MaxVertices, lim.MaxEdges)
 	}
 	edges := make([]Edge, 0, min(m, 1<<15))
 	var buf [1 << 12]byte
@@ -95,7 +166,8 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 // FromEdges it neither sorts nor deduplicates — it validates the
 // invariants in one linear pass and errors on any violation — so it is
 // the O(|V|+|E|) decode path for edge lists a Builder produced
-// earlier. The returned graph takes ownership of edges.
+// earlier. The edge list is copied into the graph's arena; the caller
+// keeps ownership of the slice it passed.
 func FromCanonicalEdges(n int, edges []Edge) (*Graph, error) {
 	prev := Edge{U: -1, V: -1}
 	for i, e := range edges {

@@ -96,15 +96,15 @@ func FromAdjacency(adjacency [][]int32) *Graph {
 }
 
 // fromCanonicalEdges assembles the CSR arrays from a deduplicated,
-// sorted, canonical (U<=V, no self-loop) edge list.
+// sorted, canonical (U<=V, no self-loop) edge list, building directly
+// into one contiguous arena (arena.go): the slice fields of the
+// returned graph are views into a single allocation that doubles as
+// the csr2 wire section.
 func fromCanonicalEdges(n int, edges []Edge) *Graph {
-	g := &Graph{
-		n:       n,
-		adjOff:  make([]int64, n+1),
-		adj:     make([]int32, 2*len(edges)),
-		adjEdge: make([]int32, 2*len(edges)),
-		edges:   edges,
-	}
+	g := &Graph{}
+	attachArena(g, newArena(n, len(edges)), n, len(edges))
+	copy(g.edges, edges)
+	edges = g.edges
 	// Count degrees.
 	deg := make([]int64, n)
 	for _, e := range edges {

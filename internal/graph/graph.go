@@ -20,8 +20,17 @@ type Edge struct {
 
 // Graph is an immutable undirected simple graph in CSR form.
 // Construct one with a Builder or one of the loader/generator helpers.
+//
+// All CSR storage lives in one contiguous aligned arena (see arena.go)
+// and the slice fields below are views into it. The arena is the wire
+// form: the snapshot codec's csr2 section is these bytes verbatim, and
+// decoding aliases them back — including straight off an mmap'd file.
 type Graph struct {
 	n int // number of vertices
+
+	// arena is the single backing allocation (or mapping): fixed header
+	// followed by the four regions the views below alias.
+	arena []byte
 
 	// Vertex adjacency CSR: neighbors of v are adj[adjOff[v]:adjOff[v+1]].
 	adjOff []int64

@@ -2,6 +2,7 @@ package measures
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -127,6 +128,15 @@ func closenessScore(reach, sumDist int64, n int) float64 {
 // scratch and one accumulator, and batches write disjoint output
 // ranges, so the sweep needs no locks and performs O(1) allocations per
 // worker once warm. Results are identical for any worker count.
+//
+// With a partition budget set (par.SetPartitionBytes), workers instead
+// claim contiguous runs of batches sized so each run's share of the
+// CSR arena fits the budget: consecutive batches start from adjacent
+// source IDs and write adjacent output ranges, so a run's working set
+// stays page-local over an mmap-served arena instead of striding
+// across it. Scheduling only — every batch's fold is independent of
+// which worker runs it and batches own disjoint output ranges, so the
+// fields are bitwise identical for any partition size (and for none).
 func msbfsFields(g *graph.Graph, sel distSel, workers int) distFields {
 	n := g.NumVertices()
 	// Single-assignment locals, deliberately: the run closure captures
@@ -150,35 +160,60 @@ func msbfsFields(g *graph.Graph, sel distSel, workers int) distFields {
 	if workers < 1 {
 		workers = 1
 	}
+	span := par.SpanForBudget(graph.ArenaBytes(n, g.NumEdges()), numBatches)
+	var claim *atomic.Int64 // allocated only on the partitioned path
+	if span > 0 {
+		claim = new(atomic.Int64)
+	}
 	run := func(w int) {
 		var scratch graph.MSBFSScratch
 		var sources [graph.MSBFSBatch]int32
 		acc := &distAccum{sel: sel}
 		visit := acc.visit
-		for b := w; b < numBatches; b += workers {
-			lo := b * graph.MSBFSBatch
-			hi := lo + graph.MSBFSBatch
-			if hi > n {
-				hi = n
+		next := w // next strided batch (span == 0 path)
+		for {
+			// Pick the worker's next batch range: a claimed contiguous
+			// run under a partition budget, a single strided batch
+			// otherwise.
+			var bLo, bHi int
+			if span > 0 {
+				bLo = int(claim.Add(int64(span))) - span
+				bHi = bLo + span
+				if bHi > numBatches {
+					bHi = numBatches
+				}
+			} else {
+				bLo, bHi = next, next+1
+				next += workers
 			}
-			batch := sources[:hi-lo]
-			for i := range batch {
-				batch[i] = int32(lo + i)
+			if bLo >= numBatches {
+				return
 			}
-			acc.reset()
-			scratch.RunBatch(g, batch, visit)
-			for i := 0; i < hi-lo; i++ {
-				if sel.close {
-					out.clo[lo+i] = closenessScore(acc.reach[i], acc.sumDist[i], n)
+			for b := bLo; b < bHi; b++ {
+				lo := b * graph.MSBFSBatch
+				hi := lo + graph.MSBFSBatch
+				if hi > n {
+					hi = n
 				}
-				if sel.harm {
-					out.har[lo+i] = acc.harm[i]
+				batch := sources[:hi-lo]
+				for i := range batch {
+					batch[i] = int32(lo + i)
 				}
-				if sel.ecc {
-					out.ecc[lo+i] = float64(acc.ecc[i])
-				}
-				if sel.khop {
-					out.khop[lo+i] = float64(acc.khop[i])
+				acc.reset()
+				scratch.RunBatch(g, batch, visit)
+				for i := 0; i < hi-lo; i++ {
+					if sel.close {
+						out.clo[lo+i] = closenessScore(acc.reach[i], acc.sumDist[i], n)
+					}
+					if sel.harm {
+						out.har[lo+i] = acc.harm[i]
+					}
+					if sel.ecc {
+						out.ecc[lo+i] = float64(acc.ecc[i])
+					}
+					if sel.khop {
+						out.khop[lo+i] = float64(acc.khop[i])
+					}
 				}
 			}
 		}

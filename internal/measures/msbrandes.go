@@ -2,6 +2,7 @@ package measures
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -68,23 +69,60 @@ func msBrandesFields(g *graph.Graph, sources []int32, wantBC, wantEBC bool, work
 	if wantEBC {
 		ebcStripes = make([]float64, stripes*m)
 	}
+	// Partition-aware stripe claiming: the accumulators are stripe-major,
+	// so a worker that owns consecutive stripes writes one contiguous
+	// region of the backing array. With a budget set, workers claim runs
+	// of stripes sized so each run's accumulator rows fit the budget —
+	// scheduling only: stripe composition (which batches feed stripe j,
+	// in which order) and the ascending merge below are fixed by the
+	// input alone, so the fields are bitwise identical for any partition
+	// size (and for none).
+	stripeBytes := 0
+	if wantBC {
+		stripeBytes += 8 * n
+	}
+	if wantEBC {
+		stripeBytes += 8 * m
+	}
+	span := par.SpanForBudget(stripes*stripeBytes, stripes)
+	var claim *atomic.Int64
+	if span > 0 {
+		claim = new(atomic.Int64)
+	}
 	run := func(w int) {
 		var scratch graph.MSBrandesScratch
-		for j := w; j < stripes; j += workers {
-			var sb, se []float64
-			if wantBC {
-				sb = bcStripes[j*n : (j+1)*n]
-			}
-			if wantEBC {
-				se = ebcStripes[j*m : (j+1)*m]
-			}
-			for b := j; b < numBatches; b += stripes {
-				lo := b * graph.MSBFSBatch
-				hi := lo + graph.MSBFSBatch
-				if hi > len(sources) {
-					hi = len(sources)
+		next := w // next strided stripe (span == 0 path)
+		for {
+			var jLo, jHi int
+			if span > 0 {
+				jLo = int(claim.Add(int64(span))) - span
+				jHi = jLo + span
+				if jHi > stripes {
+					jHi = stripes
 				}
-				scratch.AccumulateBatch(g, sources[lo:hi], sb, se)
+			} else {
+				jLo, jHi = next, next+1
+				next += workers
+			}
+			if jLo >= stripes {
+				return
+			}
+			for j := jLo; j < jHi; j++ {
+				var sb, se []float64
+				if wantBC {
+					sb = bcStripes[j*n : (j+1)*n]
+				}
+				if wantEBC {
+					se = ebcStripes[j*m : (j+1)*m]
+				}
+				for b := j; b < numBatches; b += stripes {
+					lo := b * graph.MSBFSBatch
+					hi := lo + graph.MSBFSBatch
+					if hi > len(sources) {
+						hi = len(sources)
+					}
+					scratch.AccumulateBatch(g, sources[lo:hi], sb, se)
+				}
 			}
 		}
 	}

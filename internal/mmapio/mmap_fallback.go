@@ -1,0 +1,34 @@
+//go:build !linux
+
+package mmapio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// MapFile on platforms without the mmap path reads the range into an
+// 8-byte-aligned heap buffer. Semantics match the linux mapping —
+// read-only bytes, valid until Close, independent of the descriptor —
+// at the cost of residency.
+func MapFile(f *os.File, offset, length int64) (*Mapping, error) {
+	if offset < 0 || length < 0 {
+		return nil, fmt.Errorf("mmapio: negative range (%d, %d)", offset, length)
+	}
+	if length == 0 {
+		return &Mapping{data: []byte{}}, nil
+	}
+	// []uint64 backing guarantees the 8-byte base alignment the arena
+	// decoder needs for in-place aliasing.
+	words := make([]uint64, (length+7)/8)
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), length)
+	if _, err := f.ReadAt(buf, offset); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("mmapio: reading %d bytes at %d: %w", length, offset, err)
+	}
+	return &Mapping{data: buf, unmap: func() error { return nil }}, nil
+}

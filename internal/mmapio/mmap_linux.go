@@ -1,0 +1,36 @@
+//go:build linux
+
+package mmapio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// MapFile maps length bytes of f starting at offset, read-only. The
+// mapping outlives any later close of f (the kernel keeps the file
+// reference), so callers may close the descriptor once mapped. A
+// zero-length range returns an empty mapping with no syscall.
+func MapFile(f *os.File, offset, length int64) (*Mapping, error) {
+	if offset < 0 || length < 0 {
+		return nil, fmt.Errorf("mmapio: negative range (%d, %d)", offset, length)
+	}
+	if length == 0 {
+		return &Mapping{data: []byte{}}, nil
+	}
+	// mmap offsets must be page-aligned: map from the page boundary at
+	// or below offset and slice the requested range back out. The extra
+	// head bytes cost address space only.
+	page := int64(os.Getpagesize())
+	head := offset % page
+	mapped, err := syscall.Mmap(int(f.Fd()), offset-head, int(head+length),
+		syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: mmap %d bytes at %d: %w", length, offset, err)
+	}
+	return &Mapping{
+		data:  mapped[head : head+length],
+		unmap: func() error { return syscall.Munmap(mapped) },
+	}, nil
+}

@@ -1,0 +1,94 @@
+package mmapio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"unsafe"
+)
+
+func writeTemp(t *testing.T, data []byte) *os.File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestMapFileRanges(t *testing.T) {
+	data := make([]byte, 3*os.Getpagesize()+137)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	f := writeTemp(t, data)
+	for _, tc := range []struct{ off, n int64 }{
+		{0, int64(len(data))},
+		{0, 8},
+		{8, 64},                            // 8-aligned, mid-page
+		{int64(os.Getpagesize()), 512},     // page-aligned
+		{int64(os.Getpagesize()) + 8, 100}, // 8-aligned past a page
+		{3, 10},                            // unaligned: still readable
+		{int64(len(data)) - 5, 5},          // tail
+		{42, 0},                            // empty
+	} {
+		m, err := MapFile(f, tc.off, tc.n)
+		if err != nil {
+			t.Fatalf("MapFile(%d, %d): %v", tc.off, tc.n, err)
+		}
+		if !bytes.Equal(m.Data(), data[tc.off:tc.off+tc.n]) {
+			t.Fatalf("MapFile(%d, %d): wrong bytes", tc.off, tc.n)
+		}
+		if tc.off%8 == 0 && tc.n > 0 {
+			if p := uintptr(unsafe.Pointer(&m.Data()[0])); p%8 != 0 {
+				t.Fatalf("MapFile(%d, %d): base %#x not 8-aligned", tc.off, tc.n, p)
+			}
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("Close(%d, %d): %v", tc.off, tc.n, err)
+		}
+		// Double Close is a no-op, not a crash.
+		if err := m.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+	}
+}
+
+func TestMapFileSurvivesDescriptorClose(t *testing.T) {
+	data := []byte("mapping outlives the descriptor, by contract")
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapFile(f, 0, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if !bytes.Equal(m.Data(), data) {
+		t.Fatal("mapped bytes wrong after descriptor close")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapFileErrors(t *testing.T) {
+	f := writeTemp(t, []byte("short"))
+	if _, err := MapFile(f, -1, 4); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := MapFile(f, 0, -4); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}

@@ -37,6 +37,11 @@ type lru[K comparable, V any] struct {
 	max   int
 	order *list.List // front = most recently used
 	items map[K]*list.Element
+	// onEvict, when set, fires for every value leaving the cache —
+	// overflow eviction, predicate eviction, and replacement by add —
+	// under the owner's lock. The disk store uses it to drop its
+	// reference on snapshots backed by file mappings.
+	onEvict func(K, V)
 }
 
 type lruEntry[K comparable, V any] struct {
@@ -62,15 +67,24 @@ func (c *lru[K, V]) get(key K) (V, bool) {
 
 func (c *lru[K, V]) add(key K, val V) {
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry[K, V]).val = val
+		entry := el.Value.(*lruEntry[K, V])
+		old := entry.val
+		entry.val = val
 		c.order.MoveToFront(el)
+		if c.onEvict != nil {
+			c.onEvict(key, old)
+		}
 		return
 	}
 	c.items[key] = c.order.PushFront(&lruEntry[K, V]{key: key, val: val})
 	for c.order.Len() > c.max {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry[K, V]).key)
+		entry := oldest.Value.(*lruEntry[K, V])
+		delete(c.items, entry.key)
+		if c.onEvict != nil {
+			c.onEvict(entry.key, entry.val)
+		}
 	}
 }
 
@@ -79,6 +93,9 @@ func (c *lru[K, V]) evict(pred func(K) bool) {
 		if pred(key) {
 			c.order.Remove(el)
 			delete(c.items, key)
+			if c.onEvict != nil {
+				c.onEvict(key, el.Value.(*lruEntry[K, V]).val)
+			}
 		}
 	}
 }

@@ -1,10 +1,13 @@
 package query
 
 import (
+	"fmt"
 	"io"
+	"os"
 
 	scalarfield "repro"
 	"repro/internal/contour"
+	"repro/internal/mmapio"
 )
 
 // The Snapshot wire codec: thin adapters between the engine's Snapshot
@@ -41,6 +44,12 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	return snapshotFromRecord(rec), nil
+}
+
+// snapshotFromRecord bundles a decoded record into a Snapshot,
+// recomputing the contour spectrum from the decoded tree.
+func snapshotFromRecord(rec *scalarfield.SnapshotRecord) *Snapshot {
 	return &Snapshot{
 		Key: Key{
 			Dataset: rec.Dataset,
@@ -55,7 +64,47 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 		ColorValues: rec.ColorValues,
 		Terrain:     rec.Terrain,
 		Spectrum:    contour.NewSpectrum(rec.Terrain.Tree),
-	}, nil
+	}
+}
+
+// DecodeSnapshotFileMapped decodes a snapshot file with its graph
+// section mmap'd in place (internal/mmapio) instead of copied to the
+// heap: the adjacency of a cold-served graph stays backed by clean
+// file pages the kernel can reclaim. The returned snapshot carries a
+// reference count wired to the mapping — the caller owns the creation
+// reference and must balance it with Release (for files without a
+// mappable graph section, e.g. version 1 snapshots, Release is a
+// no-op and the graph lives on the heap as before).
+func DecodeSnapshotFileMapped(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	// The mapping outlives the descriptor (mmapio's contract), so the
+	// file can close as soon as decoding ends, mapped or not.
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	var m *mmapio.Mapping
+	rec, release, err := scalarfield.LoadSnapshotFile(f, st.Size(),
+		func(off, length int64) ([]byte, func(), error) {
+			mm, err := mmapio.MapFile(f, off, length)
+			if err != nil {
+				return nil, nil, err
+			}
+			m = mm
+			return mm.Data(), func() { mm.Close() }, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("query: decoding snapshot file %s: %w", path, err)
+	}
+	snap := snapshotFromRecord(rec)
+	if m != nil {
+		snap.ref = newMappedSnapshotRef(release)
+	}
+	return snap, nil
 }
 
 // DecodeSnapshotKey reads only the identity of a stored snapshot —

@@ -189,6 +189,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.writeSnapshotError(w, err)
 		return
 	}
+	// The request's reference on the snapshot (a disk store in mmap
+	// mode counts holders of the graph mapping; heap snapshots no-op).
+	defer snap.Release()
 	resp := Response{Snapshot: snap.Info(), Degraded: degraded, Results: h.Engine.Resolve(snap, req.Ops)}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {

@@ -1,0 +1,240 @@
+package query
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// The mmap oracle: a snapshot served through the disk store's
+// mmap'd cold-hit path must answer the complete operation vocabulary
+// byte-identically to its heap-built twin. Run under -race (CI does),
+// the concurrent section also proves the mapped arena is safe to read
+// from many resolver goroutines at once.
+
+// mappedColdHit stores snap in a fresh directory, then serves it back
+// through a second store with MmapGraphs enabled — a guaranteed cold
+// hit through DecodeSnapshotFileMapped.
+func mappedColdHit(t *testing.T, key Key, snap *Snapshot) (*DiskStore, *Snapshot) {
+	t.Helper()
+	dir := t.TempDir()
+	seed, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed.Add(key, snap)
+	store, err := NewDiskStoreOptions(dir, DiskStoreOptions{MmapGraphs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, ok := store.Get(key)
+	if !ok {
+		t.Fatal("mmap store misses the persisted snapshot")
+	}
+	return store, mapped
+}
+
+func TestMmapSnapshotServesIdenticalResults(t *testing.T) {
+	for _, key := range []Key{
+		{Dataset: "tiny", Measure: "kcore", Color: "degree"},
+		{Dataset: "tiny", Measure: "ktruss"},
+		{Dataset: "tiny", Measure: "degree", Bins: 3},
+	} {
+		e := testEngine(t, Options{})
+		snap, err := e.Snapshot(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, mapped := mappedColdHit(t, key, snap)
+		if mapped.ref == nil {
+			t.Fatalf("key %+v: cold hit with MmapGraphs did not produce a mapped snapshot", key)
+		}
+		want := resolveJSON(t, e, snap)
+		got := resolveJSON(t, e, mapped)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("key %+v: mmap-served snapshot answers differently:\nwant %s\ngot  %s", key, want, got)
+		}
+		mapped.Release()
+	}
+}
+
+// TestMmapSnapshotConcurrentResolves hammers one mapped snapshot from
+// many goroutines while the open LRU entry is dropped mid-flight: the
+// caller's reference must keep the mapping alive until the last
+// Release, and every resolver must read consistent bytes (-race
+// guards the rest).
+func TestMmapSnapshotConcurrentResolves(t *testing.T) {
+	key := Key{Dataset: "tiny", Measure: "kcore", Color: "degree"}
+	e := testEngine(t, Options{})
+	snap, err := e.Snapshot(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, mapped := mappedColdHit(t, key, snap)
+	want := resolveJSON(t, e, mapped)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if got := resolveJSON(t, e, mapped); !bytes.Equal(want, got) {
+					t.Error("concurrent resolve over the mapped snapshot diverged")
+					return
+				}
+			}
+		}()
+	}
+	// Drop the LRU's reference while resolvers are mid-read: the
+	// mapping must survive on the caller's reference alone.
+	store.DropOpen()
+	wg.Wait()
+	mapped.Release()
+}
+
+// TestDiskStoreMappedRefcounting pins the reference protocol end to
+// end using the package-internal counter: the LRU owns one reference,
+// every Get hands the caller one more, DropOpen releases the LRU's,
+// and the count reaches zero only after the last caller balances.
+func TestDiskStoreMappedRefcounting(t *testing.T) {
+	key := Key{Dataset: "tiny", Measure: "kcore"}
+	e := testEngine(t, Options{})
+	snap, err := e.Snapshot(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ref != nil {
+		t.Fatal("fresh analysis snapshot unexpectedly carries a mapping reference")
+	}
+	store, mapped := mappedColdHit(t, key, snap)
+	if got := mapped.ref.refs.Load(); got != 2 {
+		t.Fatalf("after cold hit: %d references, want 2 (LRU + caller)", got)
+	}
+
+	// A warm Get from the open LRU adds one reference per caller.
+	again, ok := store.Get(key)
+	if !ok {
+		t.Fatal("warm Get missed")
+	}
+	if again != mapped {
+		t.Fatal("warm Get did not reuse the open entry")
+	}
+	if got := mapped.ref.refs.Load(); got != 3 {
+		t.Fatalf("after warm Get: %d references, want 3", got)
+	}
+	again.Release()
+
+	// Dropping the open LRU releases its reference but must not unmap
+	// while the first caller still holds one: the graph must stay
+	// readable.
+	store.DropOpen()
+	if got := mapped.ref.refs.Load(); got != 1 {
+		t.Fatalf("after DropOpen: %d references, want 1 (caller)", got)
+	}
+	if mapped.Graph.NumVertices() != testGraph().NumVertices() {
+		t.Fatal("mapped graph unreadable after LRU drop")
+	}
+	deg := mapped.Graph.Degree(0)
+	if deg != testGraph().Degree(0) {
+		t.Fatalf("mapped graph degree(0) = %d after LRU drop, want %d", deg, testGraph().Degree(0))
+	}
+	mapped.Release()
+	if got := mapped.ref.refs.Load(); got != 0 {
+		t.Fatalf("after final Release: %d references, want 0", got)
+	}
+
+	// The next Get re-decodes: a fresh snapshot with a fresh mapping.
+	fresh, ok := store.Get(key)
+	if !ok {
+		t.Fatal("re-decode after unmap missed")
+	}
+	if fresh == mapped {
+		t.Fatal("store served the released snapshot again")
+	}
+	if fresh.ref == nil || fresh.ref.refs.Load() != 2 {
+		t.Fatal("re-decoded snapshot reference bookkeeping wrong")
+	}
+	fresh.Release()
+	store.DropOpen()
+}
+
+// TestDiskStoreCoalescedWaitersEachOwnAReference: N concurrent cold
+// Gets share one decode, and each of the N callers (leader and
+// waiters alike) must receive its own reference — N Releases later the
+// LRU's reference is still the only one left.
+func TestDiskStoreCoalescedWaitersEachOwnAReference(t *testing.T) {
+	key := Key{Dataset: "tiny", Measure: "kcore"}
+	e := testEngine(t, Options{})
+	snap, err := e.Snapshot(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	seed, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed.Add(key, snap)
+	store, err := NewDiskStoreOptions(dir, DiskStoreOptions{MmapGraphs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	snaps := make([]*Snapshot, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, ok := store.Get(key)
+			if !ok {
+				t.Error("coalesced Get missed")
+				return
+			}
+			snaps[i] = got
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if snaps[i] != snaps[0] {
+			t.Fatal("coalesced Gets produced different snapshots")
+		}
+	}
+	if got := snaps[0].ref.refs.Load(); got != callers+1 {
+		t.Fatalf("after %d coalesced Gets: %d references, want %d (callers + LRU)", callers, got, callers+1)
+	}
+	for _, s := range snaps {
+		s.Release()
+	}
+	if got := snaps[0].ref.refs.Load(); got != 1 {
+		t.Fatalf("after all callers released: %d references, want 1 (LRU)", got)
+	}
+	store.DropOpen()
+	if got := snaps[0].ref.refs.Load(); got != 0 {
+		t.Fatalf("after DropOpen: %d references, want 0", got)
+	}
+}
+
+// TestDiskStoreAddReplacementReleasesOldMapping: Adding over an open
+// mapped entry must release the replaced snapshot's LRU reference so
+// the old mapping can unmap.
+func TestDiskStoreAddReplacementReleasesOldMapping(t *testing.T) {
+	key := Key{Dataset: "tiny", Measure: "kcore"}
+	e := testEngine(t, Options{})
+	snap, err := e.Snapshot(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, mapped := mappedColdHit(t, key, snap)
+	mapped.Release() // LRU reference remains
+	if got := mapped.ref.refs.Load(); got != 1 {
+		t.Fatalf("before replacement: %d references, want 1", got)
+	}
+	store.Add(key, snap) // heap snapshot replaces the mapped entry
+	if got := mapped.ref.refs.Load(); got != 0 {
+		t.Fatalf("after replacement: %d references, want 0 (old mapping released)", got)
+	}
+	store.DropOpen()
+}

@@ -30,6 +30,7 @@ package query
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	scalarfield "repro"
 	"repro/internal/contour"
@@ -104,6 +105,65 @@ type Snapshot struct {
 	Terrain *scalarfield.Terrain
 	// Spectrum is the contour spectrum B0(α) of the super tree.
 	Spectrum *contour.Spectrum
+
+	// ref counts references to the graph's backing file mapping, when
+	// there is one (a DiskStore in mmap mode decodes the graph section
+	// in place — see mmapSnapshotRef). nil for heap-backed snapshots,
+	// which is every snapshot a fresh analysis produces: their Retain
+	// and Release are no-ops, so callers follow one contract
+	// everywhere.
+	ref *mappingRef
+}
+
+// mappingRef counts the holders of a snapshot whose graph aliases a
+// file mapping: the disk store's open-entry LRU owns the creation
+// reference, and every Get hands its caller one more. When the count
+// reaches zero the mapping is released (munmap on linux). A holder
+// that forgets Release leaks a mapping — deliberately the failure
+// mode, since the alternative (eager unmap) would turn a forgotten
+// reference into a use-after-unmap fault in a reader.
+type mappingRef struct {
+	refs    atomic.Int64
+	release func()
+}
+
+// newMappedSnapshotRef wires release to fire when the count drops to
+// zero, starting at one: the creation reference, owned by whoever
+// constructed the snapshot (the disk store assigns it to its open
+// LRU).
+func newMappedSnapshotRef(release func()) *mappingRef {
+	r := &mappingRef{release: release}
+	r.refs.Store(1)
+	return r
+}
+
+// Retain adds a reference to the snapshot's backing mapping. No-op
+// for heap-backed snapshots. Callers receive snapshots already
+// retained on their behalf (Engine.Snapshot, SnapshotStore.Get);
+// Retain is for handing a held snapshot to another holder with its
+// own lifetime.
+func (s *Snapshot) Retain() {
+	if s.ref != nil {
+		s.ref.refs.Add(1)
+	}
+}
+
+// Release drops one reference, releasing the backing mapping when the
+// last holder lets go. No-op for heap-backed snapshots, so every
+// consumer of Engine.Snapshot can (and should) defer it
+// unconditionally. Calling Release more times than Retain+1 is a
+// bookkeeping bug; the count going negative panics loudly rather than
+// unmapping memory some holder still reads.
+func (s *Snapshot) Release() {
+	if s.ref == nil {
+		return
+	}
+	switch n := s.ref.refs.Add(-1); {
+	case n == 0:
+		s.ref.release()
+	case n < 0:
+		panic("query: Snapshot.Release without matching reference")
+	}
 }
 
 // Info is the wire-format identity block of a Snapshot, echoed on

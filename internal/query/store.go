@@ -48,10 +48,18 @@ func NewMemorySnapshotStore(max int) SnapshotStore {
 // yesterday's analyses without re-running them.
 type DiskStore struct {
 	dir string
+	// mmapGraphs switches cold-hit decodes to the mapped path: the
+	// graph section of a snapshot file is mmap'd and aliased in place
+	// rather than copied to the heap. Lifetimes are reference-counted
+	// (see Snapshot.Release and the retain protocol in Get).
+	mmapGraphs bool
 
 	// mu guards index, open, and decoding. Encode/decode run outside
 	// it, so one key's disk traffic does not serialize other keys'
-	// probes.
+	// probes. Reference bookkeeping for mapped snapshots runs UNDER it:
+	// a Get retains before unlocking, and the open LRU's eviction hook
+	// releases while still locked, so a snapshot can never be unmapped
+	// between being found and being retained.
 	mu    sync.Mutex
 	index map[Key]string // key -> filename (within dir)
 	open  *lru[Key, *Snapshot]
@@ -64,8 +72,13 @@ type DiskStore struct {
 
 type diskDecode struct {
 	done chan struct{} // closed when snap/ok are final
-	snap *Snapshot
-	ok   bool
+	// waiters counts the Gets that joined this decode (guarded by the
+	// store's mu). The leader retains the snapshot once per waiter —
+	// plus once for itself — before publishing, so every joiner returns
+	// an already-retained snapshot without touching the count itself.
+	waiters int
+	snap    *Snapshot
+	ok      bool
 }
 
 // DefaultOpenSnapshots is the open-entry LRU bound used when
@@ -82,24 +95,50 @@ const snapExt = ".snap"
 // the startup scan and never served.
 const corruptPrefix = "corrupt-"
 
+// DiskStoreOptions configures a DiskStore beyond its directory.
+type DiskStoreOptions struct {
+	// MaxOpen bounds the decoded open-entry LRU; <= 0 means
+	// DefaultOpenSnapshots.
+	MaxOpen int
+	// MmapGraphs serves cold hits with the graph section mmap'd in
+	// place instead of rebuilt on the heap: decode cost drops to a
+	// header check plus a read-only verification scan, and the
+	// adjacency stays backed by reclaimable file pages. The mapping is
+	// released when the entry leaves the open LRU and every caller has
+	// Released its snapshot.
+	MmapGraphs bool
+}
+
 // NewDiskStore opens (creating if needed) a snapshot directory and
 // indexes the snapshots already in it. maxOpen bounds the decoded
 // open-entry LRU (<= 0 means DefaultOpenSnapshots). Files that fail to
 // yield a meta section are skipped, not deleted: they may belong to a
 // newer format version.
 func NewDiskStore(dir string, maxOpen int) (*DiskStore, error) {
+	return NewDiskStoreOptions(dir, DiskStoreOptions{MaxOpen: maxOpen})
+}
+
+// NewDiskStoreOptions is NewDiskStore with the full option set.
+func NewDiskStoreOptions(dir string, opts DiskStoreOptions) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("query: creating snapshot dir: %w", err)
 	}
+	maxOpen := opts.MaxOpen
 	if maxOpen <= 0 {
 		maxOpen = DefaultOpenSnapshots
 	}
 	s := &DiskStore{
-		dir:      dir,
-		index:    make(map[Key]string),
-		open:     newLRU[Key, *Snapshot](maxOpen),
-		decoding: make(map[Key]*diskDecode),
+		dir:        dir,
+		mmapGraphs: opts.MmapGraphs,
+		index:      make(map[Key]string),
+		open:       newLRU[Key, *Snapshot](maxOpen),
+		decoding:   make(map[Key]*diskDecode),
 	}
+	// The open LRU owns each mapped snapshot's creation reference;
+	// dropping it when the entry leaves (overflow, predicate eviction,
+	// replacement) lets the mapping unmap once outstanding callers
+	// Release too. Fires under s.mu.
+	s.open.onEvict = func(_ Key, snap *Snapshot) { snap.Release() }
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("query: scanning snapshot dir: %w", err)
@@ -145,9 +184,16 @@ func readSnapshotFileKey(path string) (Key, error) {
 // an index hit. Concurrent Gets for one key coalesce on a single
 // decode. A file that no longer decodes (corruption, deletion behind
 // our back) is dropped from the index and reported as a miss.
+//
+// Every returned snapshot is retained on the caller's behalf — the
+// caller owes one Release, a no-op for heap-backed snapshots. The
+// retain happens under s.mu, the same lock the open LRU's eviction
+// hook releases under, so a mapped snapshot found in the cache cannot
+// be unmapped before its caller's reference exists.
 func (s *DiskStore) Get(key Key) (*Snapshot, bool) {
 	s.mu.Lock()
 	if snap, ok := s.open.get(key); ok {
+		snap.Retain()
 		s.mu.Unlock()
 		return snap, true
 	}
@@ -157,6 +203,9 @@ func (s *DiskStore) Get(key Key) (*Snapshot, bool) {
 		return nil, false
 	}
 	if d, inflight := s.decoding[key]; inflight {
+		// The leader retains for us (it counts waiters before
+		// publishing), so the snapshot behind done is already ours.
+		d.waiters++
 		s.mu.Unlock()
 		<-d.done
 		return d.snap, d.ok
@@ -168,7 +217,15 @@ func (s *DiskStore) Get(key Key) (*Snapshot, bool) {
 	d.snap, d.ok = s.decodeFile(key, name)
 	s.mu.Lock()
 	if d.ok {
+		// The decode's creation reference transfers to the open LRU;
+		// then one reference per Get that is about to return this
+		// snapshot: the leader itself plus every coalesced waiter.
+		// Counted under the same lock waiters increment under, and
+		// before done closes, so nobody returns un-retained.
 		s.open.add(key, d.snap)
+		for i := 0; i <= d.waiters; i++ {
+			d.snap.Retain()
+		}
 	}
 	delete(s.decoding, key)
 	s.mu.Unlock()
@@ -182,18 +239,34 @@ func (s *DiskStore) Get(key Key) (*Snapshot, bool) {
 // decode is quarantined, not re-decoded on the next lookup; a file
 // that fails to open (deleted behind our back) is simply forgotten.
 func (s *DiskStore) decodeFile(key Key, name string) (*Snapshot, bool) {
-	f, err := os.Open(filepath.Join(s.dir, name))
-	if err != nil {
-		s.drop(key, name)
-		return nil, false
-	}
-	snap, err := DecodeSnapshot(f)
-	f.Close()
-	if err != nil {
-		s.quarantine(key, name, err)
-		return nil, false
+	path := filepath.Join(s.dir, name)
+	var snap *Snapshot
+	if s.mmapGraphs {
+		var err error
+		snap, err = DecodeSnapshotFileMapped(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				s.drop(key, name)
+			} else {
+				s.quarantine(key, name, err)
+			}
+			return nil, false
+		}
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			s.drop(key, name)
+			return nil, false
+		}
+		snap, err = DecodeSnapshot(f)
+		f.Close()
+		if err != nil {
+			s.quarantine(key, name, err)
+			return nil, false
+		}
 	}
 	if snap.Key != key {
+		snap.Release()
 		s.quarantine(key, name, fmt.Errorf("decoded key %v does not match %v", snap.Key, key))
 		return nil, false
 	}
@@ -256,6 +329,9 @@ func (s *DiskStore) Add(key Key, snap *Snapshot) {
 	if persisted {
 		s.index[key] = name
 	}
+	// The LRU takes its own reference (a no-op for the heap-backed
+	// snapshots analyses produce); the caller keeps theirs.
+	snap.Retain()
 	s.open.add(key, snap)
 	s.mu.Unlock()
 }
@@ -276,6 +352,18 @@ func (s *DiskStore) Evict(pred func(Key) bool) {
 	for _, name := range victims {
 		os.Remove(filepath.Join(s.dir, name))
 	}
+}
+
+// DropOpen evicts every decoded entry from the open LRU without
+// touching the index or the files on disk: resident heap copies become
+// collectable and file mappings unmap once outstanding callers Release
+// theirs. The next Get re-decodes from disk — the cache stays warm on
+// disk, cold in memory. Use it to shed memory under pressure or to
+// force the cold-hit path deterministically (benchmarks, tests).
+func (s *DiskStore) DropOpen() {
+	s.mu.Lock()
+	s.open.evict(func(Key) bool { return true })
+	s.mu.Unlock()
 }
 
 // Contains reports whether the key is indexed on disk or open in

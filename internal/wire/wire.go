@@ -173,6 +173,11 @@ type Payload struct {
 	off  int
 }
 
+// NewPayload wraps already-read section bytes for decoding, for
+// callers that walk a container by explicit offsets (io.ReaderAt)
+// instead of through Reader. The payload aliases data.
+func NewPayload(data []byte) *Payload { return &Payload{data: data} }
+
 // Bytes returns the built payload.
 func (p *Payload) Bytes() []byte { return p.data }
 
@@ -182,6 +187,17 @@ func (p *Payload) Remaining() int { return len(p.data) - p.off }
 // Reader returns an io.Reader over the unread remainder, for nested
 // codecs (e.g. the super-tree format) embedded as a section payload.
 func (p *Payload) Reader() io.Reader { return bytes.NewReader(p.data[p.off:]) }
+
+// Rest consumes and returns the unread remainder without copying. The
+// returned slice aliases the payload's backing bytes for as long as
+// they live — it is the zero-copy handoff for sections whose payload
+// IS a nested format's wire image (e.g. the snapshot codec's csr2
+// graph arena), where a Reader round-trip would force a rebuild.
+func (p *Payload) Rest() []byte {
+	b := p.data[p.off:]
+	p.off = len(p.data)
+	return b
+}
 
 func (p *Payload) need(n int) error {
 	if p.Remaining() < n {

@@ -9,14 +9,33 @@ package scalarfield
 // pipeline as derived, immutable artifacts of a scalar graph; this
 // file is that property made portable.
 //
-// Container layout (internal/wire framing, magic "SFSN", version 1):
+// Container layout (internal/wire framing, magic "SFSN", version 2):
 //
 //	meta — dataset, measure, color, bins, seq, edge basis
 //	layo — terrain layout options (margin, min share, strategy)
-//	grph — the CSR graph (internal/graph binary codec)
+//	pad0 — 0–7 zero bytes aligning the next payload to 8 (skipped)
+//	csr2 — the CSR graph's arena, verbatim (internal/graph arena.go)
 //	hght — raw height field, one f64 per vertex or edge
 //	colr — raw color field (present only when colored)
 //	tree — the super scalar tree (internal/core codec, reused as-is)
+//
+// Version 1 containers carried the graph as a "grph" section in the
+// v1 edge-list codec; LoadSnapshot still decodes them. Version 2
+// writes "csr2" instead: the graph's contiguous arena written
+// verbatim, so decoding is header-validate + alias — O(header) plus
+// one read-only verification scan instead of the O(V+E) edge-by-edge
+// CSR rebuild — and the graph section of a snapshot file can be
+// mmap'd and served in place (LoadSnapshotFile). The "pad0" section
+// exists only so the csr2 payload starts at a file offset that is a
+// multiple of 8: a page-aligned mapping of the section then yields an
+// 8-aligned buffer the graph views can alias directly.
+//
+// Alias lifetime: a graph decoded from a csr2 section ALIASES the
+// section bytes — the payload buffer on the stream path, the mapping
+// on the mmap path — for its whole lifetime. Callers must not mutate
+// those bytes and must keep any backing mapping alive (see the release
+// callback of LoadSnapshotFile and query.Snapshot.Release) until the
+// graph is unreachable.
 //
 // Unknown sections are skipped on decode, so future writers can append
 // fields without breaking old readers. The terrain layout and the
@@ -27,6 +46,7 @@ package scalarfield
 // fraction of the bytes.
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 
@@ -37,9 +57,17 @@ import (
 )
 
 const (
-	snapshotMagic   = "SFSN"
-	snapshotVersion = 1
+	snapshotMagic     = "SFSN"
+	snapshotVersion   = 2
+	snapshotVersionV1 = 1
 )
+
+// snapshotHeaderLen is the container prologue: 4-byte magic + 1
+// version byte. Section payload offsets are measured from it.
+const snapshotHeaderLen = 5
+
+// sectionHeaderLen is the per-section framing: 4-byte tag + u64 length.
+const sectionHeaderLen = wire.TagLen + 8
 
 // SnapshotRecord is the unit SaveSnapshot writes and LoadSnapshot
 // returns: one analysis — identity, inputs, and products — flattened
@@ -74,12 +102,30 @@ type SnapshotRecord struct {
 	Terrain *Terrain
 }
 
-// SaveSnapshot writes one analysis in the snapshot wire format above.
+// SaveSnapshot writes one analysis in the snapshot wire format above
+// (version 2, arena graph section). The graph bytes go out verbatim
+// from the graph's own arena — encoding does no per-edge work.
 func SaveSnapshot(w io.Writer, rec *SnapshotRecord) error {
+	return saveSnapshot(w, rec, false)
+}
+
+// SaveSnapshotV1 writes the version 1 container with the edge-list
+// graph section, byte-compatible with files produced before the arena
+// format existed. It exists for compatibility tests and for measuring
+// the old decode path; new code should use SaveSnapshot.
+func SaveSnapshotV1(w io.Writer, rec *SnapshotRecord) error {
+	return saveSnapshot(w, rec, true)
+}
+
+func saveSnapshot(w io.Writer, rec *SnapshotRecord, legacyV1 bool) error {
 	if rec.Graph == nil || rec.Terrain == nil || rec.Terrain.Tree == nil {
 		return fmt.Errorf("scalarfield: SaveSnapshot needs a graph and a terrain with a tree")
 	}
-	ww, err := wire.NewWriter(w, snapshotMagic, snapshotVersion)
+	version := byte(snapshotVersion)
+	if legacyV1 {
+		version = snapshotVersionV1
+	}
+	ww, err := wire.NewWriter(w, snapshotMagic, version)
 	if err != nil {
 		return err
 	}
@@ -103,12 +149,31 @@ func SaveSnapshot(w io.Writer, rec *SnapshotRecord) error {
 		return err
 	}
 
-	var gp payloadWriter
-	if err := graph.WriteBinary(&gp, rec.Graph); err != nil {
-		return err
-	}
-	if err := ww.Section("grph", gp.p.Bytes()); err != nil {
-		return err
+	if legacyV1 {
+		var gp payloadWriter
+		if err := graph.WriteBinary(&gp, rec.Graph); err != nil {
+			return err
+		}
+		if err := ww.Section("grph", gp.p.Bytes()); err != nil {
+			return err
+		}
+	} else {
+		// Align the csr2 payload to a multiple of 8 bytes from the start
+		// of the file, so a page-aligned mapping (or a straight read of
+		// the whole file into an aligned buffer at offset 0... which the
+		// stream path does not guarantee, but the mmap path does) hands
+		// the decoder an 8-aligned arena it can alias with no copy.
+		off := int64(snapshotHeaderLen) +
+			int64(sectionHeaderLen+len(meta.Bytes())) +
+			int64(sectionHeaderLen+len(layo.Bytes()))
+		csr2PayloadOff := off + 2*sectionHeaderLen // after pad0 and csr2 headers
+		pad := int((8 - csr2PayloadOff%8) % 8)
+		if err := ww.Section("pad0", make([]byte, pad)); err != nil {
+			return err
+		}
+		if err := ww.Section("csr2", graph.ArenaWireBytes(rec.Graph)); err != nil {
+			return err
+		}
 	}
 
 	var hght wire.Payload
@@ -143,76 +208,80 @@ func (w *payloadWriter) Write(b []byte) (int, error) {
 	return len(b), nil
 }
 
-// LoadSnapshot decodes a snapshot written by SaveSnapshot and
-// reconstructs its terrain: layout from the tree and the stored layout
-// options, coloring from the stored color field (or the tree's own
-// heights when uncolored) — exactly the construction the original
-// analysis ran, so every derived product matches it. Corrupt or
-// truncated input returns an error; nothing panics. Cross-field
-// consistency (field lengths vs graph size vs tree items, tree
-// validity) is verified before anything is returned.
-func LoadSnapshot(r io.Reader) (*SnapshotRecord, error) {
-	wr, err := wire.NewReader(r, snapshotMagic, snapshotVersion)
-	if err != nil {
-		return nil, err
-	}
-	rec := &SnapshotRecord{}
-	var tree *core.SuperTree
-	var haveMeta, haveValues bool
-	for {
-		tag, payload, err := wr.Next()
-		if err == io.EOF {
-			break
+// snapshotDecoder accumulates sections from either container walker
+// (the stream Reader of LoadSnapshot or the offset walker of
+// LoadSnapshotFile) and finishes with the cross-field verification and
+// terrain reconstruction both share.
+type snapshotDecoder struct {
+	rec        *SnapshotRecord
+	tree       *core.SuperTree
+	haveMeta   bool
+	haveValues bool
+}
+
+// section decodes one tagged payload. Unknown tags are skipped — the
+// appended-field compatibility path.
+func (d *snapshotDecoder) section(tag string, payload *wire.Payload) error {
+	var err error
+	switch tag {
+	case "meta":
+		if err := decodeSnapshotMeta(payload, d.rec); err != nil {
+			return err
 		}
+		d.haveMeta = true
+	case "layo":
+		if d.rec.Layout.Margin, err = payload.Float64(); err != nil {
+			return fmt.Errorf("scalarfield: snapshot layo section: %w", err)
+		}
+		if d.rec.Layout.MinShare, err = payload.Float64(); err != nil {
+			return fmt.Errorf("scalarfield: snapshot layo section: %w", err)
+		}
+		strategy, err := payload.Int64()
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("scalarfield: snapshot layo section: %w", err)
 		}
-		switch tag {
-		case "meta":
-			if err := decodeSnapshotMeta(payload, rec); err != nil {
-				return nil, err
-			}
-			haveMeta = true
-		case "layo":
-			if rec.Layout.Margin, err = payload.Float64(); err != nil {
-				return nil, fmt.Errorf("scalarfield: snapshot layo section: %w", err)
-			}
-			if rec.Layout.MinShare, err = payload.Float64(); err != nil {
-				return nil, fmt.Errorf("scalarfield: snapshot layo section: %w", err)
-			}
-			strategy, err := payload.Int64()
-			if err != nil {
-				return nil, fmt.Errorf("scalarfield: snapshot layo section: %w", err)
-			}
-			rec.Layout.Strategy = terrain.Strategy(strategy)
-		case "grph":
-			if rec.Graph, err = graph.ReadBinary(payload.Reader()); err != nil {
-				return nil, fmt.Errorf("scalarfield: snapshot graph section: %w", err)
-			}
-		case "hght":
-			if rec.Values, err = payload.Float64s(); err != nil {
-				return nil, fmt.Errorf("scalarfield: snapshot height section: %w", err)
-			}
-			haveValues = true
-		case "colr":
-			if rec.ColorValues, err = payload.Float64s(); err != nil {
-				return nil, fmt.Errorf("scalarfield: snapshot color section: %w", err)
-			}
-		case "tree":
-			if tree, err = core.ReadSuperTree(payload.Reader()); err != nil {
-				return nil, fmt.Errorf("scalarfield: snapshot tree section: %w", err)
-			}
-		default:
-			// Unknown section: skip. This is the appended-field
-			// compatibility path.
+		d.rec.Layout.Strategy = terrain.Strategy(strategy)
+	case "grph":
+		if d.rec.Graph, err = graph.ReadBinary(payload.Reader()); err != nil {
+			return fmt.Errorf("scalarfield: snapshot graph section: %w", err)
+		}
+	case "csr2":
+		// Zero-copy: the graph aliases the payload bytes from here on.
+		// Verification is the read-only arena scan — corrupt bytes are
+		// an error here, never a panic in a later traversal.
+		if d.rec.Graph, err = graph.GraphFromArena(payload.Rest()); err != nil {
+			return fmt.Errorf("scalarfield: snapshot csr2 section: %w", err)
+		}
+	case "hght":
+		if d.rec.Values, err = payload.Float64s(); err != nil {
+			return fmt.Errorf("scalarfield: snapshot height section: %w", err)
+		}
+		d.haveValues = true
+	case "colr":
+		if d.rec.ColorValues, err = payload.Float64s(); err != nil {
+			return fmt.Errorf("scalarfield: snapshot color section: %w", err)
+		}
+	case "tree":
+		if d.tree, err = core.ReadSuperTree(payload.Reader()); err != nil {
+			return fmt.Errorf("scalarfield: snapshot tree section: %w", err)
 		}
 	}
+	return nil
+}
+
+// finish verifies cross-field consistency and reconstructs the
+// terrain exactly as the analyzer built it: NewTerrainFromTree
+// validates the tree, lays it out with the stored options, and colors
+// by the tree's own heights; a stored color field then recolors,
+// mirroring AnalyzeAll's ColorBy path.
+func (d *snapshotDecoder) finish() (*SnapshotRecord, error) {
+	rec, tree := d.rec, d.tree
 	switch {
-	case !haveMeta:
+	case !d.haveMeta:
 		return nil, fmt.Errorf("scalarfield: snapshot missing meta section")
 	case rec.Graph == nil:
 		return nil, fmt.Errorf("scalarfield: snapshot missing graph section")
-	case !haveValues:
+	case !d.haveValues:
 		return nil, fmt.Errorf("scalarfield: snapshot missing height section")
 	case tree == nil:
 		return nil, fmt.Errorf("scalarfield: snapshot missing tree section")
@@ -232,10 +301,6 @@ func LoadSnapshot(r io.Reader) (*SnapshotRecord, error) {
 		return nil, fmt.Errorf("scalarfield: snapshot tree spans %d items for a %d-item field", tree.NumItems(), items)
 	}
 
-	// Reconstruct the terrain exactly as the analyzer built it:
-	// NewTerrainFromTree validates the tree, lays it out with the stored
-	// options, and colors by the tree's own heights; a stored color
-	// field then recolors, mirroring AnalyzeAll's ColorBy path.
 	t, err := NewTerrainFromTree(tree, TerrainOptions{Layout: rec.Layout})
 	if err != nil {
 		return nil, fmt.Errorf("scalarfield: snapshot terrain reconstruction: %w", err)
@@ -247,6 +312,125 @@ func LoadSnapshot(r io.Reader) (*SnapshotRecord, error) {
 	}
 	rec.Terrain = t
 	return rec, nil
+}
+
+// LoadSnapshot decodes a snapshot written by SaveSnapshot (or a
+// version 1 file written before the arena format) and reconstructs its
+// terrain. Corrupt or truncated input returns an error; nothing
+// panics. Cross-field consistency (field lengths vs graph size vs tree
+// items, tree validity) is verified before anything is returned.
+//
+// A version 2 snapshot's graph aliases the csr2 section's payload
+// buffer rather than copying out of it; the buffer is owned by the
+// returned record's graph and must not be reused by the caller.
+func LoadSnapshot(r io.Reader) (*SnapshotRecord, error) {
+	wr, err := wire.NewReader(r, snapshotMagic, snapshotVersion)
+	if err != nil {
+		return nil, err
+	}
+	d := &snapshotDecoder{rec: &SnapshotRecord{}}
+	for {
+		tag, payload, err := wr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := d.section(tag, payload); err != nil {
+			return nil, err
+		}
+	}
+	return d.finish()
+}
+
+// GraphSectionMapper supplies the graph section's bytes by file range
+// instead of through the section reader: given the payload's absolute
+// offset and length within the snapshot file, it returns a buffer
+// holding (or mapping) exactly those bytes plus a release callback for
+// when the buffer is no longer referenced. internal/mmapio provides
+// the canonical implementation; tests substitute heap readers.
+type GraphSectionMapper func(offset, length int64) (data []byte, release func(), err error)
+
+// LoadSnapshotFile decodes a snapshot from a random-access file image,
+// handing the graph section to mapGraph instead of reading it through
+// the stream — the zero-copy path for disk-served snapshots, where the
+// mapping becomes the graph's storage and no heap copy of the
+// adjacency ever exists.
+//
+// The returned release callback frees the graph mapping; the caller
+// must invoke it exactly once, after the record's graph is no longer
+// in use (query.Snapshot ties it to a reference count). On error, or
+// when mapGraph is nil or the file predates csr2 (its graph decodes
+// through the heap), the returned release is a no-op but still
+// non-nil.
+//
+// size is the file's total length in bytes; r must serve reads
+// anywhere below it.
+func LoadSnapshotFile(r io.ReaderAt, size int64, mapGraph GraphSectionMapper) (*SnapshotRecord, func(), error) {
+	release := func() {}
+	var head [snapshotHeaderLen]byte
+	if size < snapshotHeaderLen {
+		return nil, release, fmt.Errorf("scalarfield: snapshot file truncated: %d bytes", size)
+	}
+	if _, err := r.ReadAt(head[:], 0); err != nil {
+		return nil, release, fmt.Errorf("scalarfield: reading snapshot header: %w", err)
+	}
+	if string(head[:4]) != snapshotMagic {
+		return nil, release, fmt.Errorf("scalarfield: bad snapshot magic %q", head[:4])
+	}
+	if v := head[4]; v > snapshotVersion {
+		return nil, release, fmt.Errorf("scalarfield: unsupported snapshot version %d (max %d)", v, snapshotVersion)
+	}
+
+	d := &snapshotDecoder{rec: &SnapshotRecord{}}
+	fail := func(err error) (*SnapshotRecord, func(), error) {
+		release()
+		return nil, func() {}, err
+	}
+	off := int64(snapshotHeaderLen)
+	for off < size {
+		var sh [sectionHeaderLen]byte
+		if size-off < sectionHeaderLen {
+			return fail(fmt.Errorf("scalarfield: snapshot torn mid-section at offset %d", off))
+		}
+		if _, err := r.ReadAt(sh[:], off); err != nil {
+			return fail(fmt.Errorf("scalarfield: reading section header: %w", err))
+		}
+		tag := string(sh[:wire.TagLen])
+		length := binary.LittleEndian.Uint64(sh[wire.TagLen:])
+		payloadOff := off + sectionHeaderLen
+		if length > uint64(size-payloadOff) {
+			return fail(fmt.Errorf("scalarfield: section %q declares %d bytes, only %d remain", tag, length, size-payloadOff))
+		}
+		if tag == "csr2" && mapGraph != nil {
+			data, rel, err := mapGraph(payloadOff, int64(length))
+			if err != nil {
+				return fail(fmt.Errorf("scalarfield: mapping csr2 section: %w", err))
+			}
+			g, err := graph.GraphFromArena(data)
+			if err != nil {
+				rel()
+				return fail(fmt.Errorf("scalarfield: snapshot csr2 section: %w", err))
+			}
+			d.rec.Graph = g
+			release = rel
+		} else {
+			buf := make([]byte, length)
+			if _, err := r.ReadAt(buf, payloadOff); err != nil {
+				return fail(fmt.Errorf("scalarfield: reading %q payload: %w", tag, err))
+			}
+			if err := d.section(tag, wire.NewPayload(buf)); err != nil {
+				return fail(err)
+			}
+		}
+		off = payloadOff + int64(length)
+	}
+	rec, err := d.finish()
+	if err != nil {
+		return fail(err)
+	}
+	return rec, release, nil
 }
 
 func decodeSnapshotMeta(p *wire.Payload, rec *SnapshotRecord) error {
