@@ -42,8 +42,11 @@
 // consistent-hash ring over the snapshot key decides which node owns
 // each analysis, batch queries for non-owned keys are forwarded to the
 // owner and relayed byte-for-byte, and singleflight on the owner keeps
-// the whole fleet at one analysis per key. See the README's "Running a
-// shard fleet" section.
+// the whole fleet at one analysis per key. Membership is elastic:
+// -peers seeds a gossiped membership view, nodes join and leave at
+// runtime, local misses hydrate from peers' snapshots, and SIGTERM
+// drains gracefully (readiness flip, ownership handoff). See the
+// README's "Running a shard fleet" and "Elastic fleet" sections.
 package main
 
 import (
@@ -56,14 +59,19 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	scalarfield "repro"
 	"repro/internal/baselines"
 	"repro/internal/datasets"
+	"repro/internal/fleet"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/query"
@@ -93,9 +101,15 @@ func main() {
 		shardID = flag.String("shard-id", "",
 			"this node's name in a shard fleet; requires -peers")
 		peers = flag.String("peers", "",
-			"comma-separated id=url fleet members, e.g. a=http://host1:8080,b=http://host2:8080 (must include -shard-id)")
+			"comma-separated id=url seed members, e.g. a=http://host1:8080,b=http://host2:8080; when -shard-id is among them this node is a founding member, otherwise it joins the fleet through them")
+		advertise = flag.String("advertise", "",
+			"base URL other fleet members reach this node at (default: this node's -peers entry, else http://<addr>)")
 		forwardTimeout = flag.Duration("forward-timeout", 15*time.Minute,
-			"end-to-end timeout for requests forwarded to the owning shard (also the health-probe client timeout); generous because an owner analyzing a big dataset legitimately holds forwards for minutes")
+			"end-to-end timeout for requests forwarded to the owning shard; generous because an owner analyzing a big dataset legitimately holds forwards for minutes")
+		probeTimeout = flag.Duration("probe-timeout", 2*time.Second,
+			"per-request timeout for health/membership probes of peers; short because a probe that takes longer than this is indistinguishable from a dead peer")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
+			"graceful-drain deadline on SIGTERM/SIGINT: in-flight requests finish and owned snapshots hand off to their new owners within this budget before the process exits")
 		maxAnalyses = flag.Int("max-analyses", 4,
 			"admission control: concurrent analyses bound (0 = unlimited); excess flights beyond the queue are shed with 503 Retry-After")
 		analysisQueue = flag.Int("analysis-queue", 16,
@@ -113,8 +127,8 @@ func main() {
 		input: *input, dataset: *dataset, scale: *scale, seed: *seed,
 		measure: *measure, colorBy: *colorBy, bins: *bins, storeDir: *storeDir,
 		mmapGraphs:     *mmapGraphs,
-		forwardTimeout: *forwardTimeout,
-		maxAnalyses:    *maxAnalyses, analysisQueue: *analysisQueue,
+		forwardTimeout: *forwardTimeout, probeTimeout: *probeTimeout,
+		maxAnalyses: *maxAnalyses, analysisQueue: *analysisQueue,
 		breakerThreshold: *breakerThreshold, breakerCooldown: *breakerCooldown,
 	})
 	if err != nil {
@@ -122,23 +136,40 @@ func main() {
 		os.Exit(1)
 	}
 	if *shardID != "" || *peers != "" {
-		peerURLs, err := parsePeers(*peers)
+		seeds, err := parsePeers(*peers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serve:", err)
 			os.Exit(1)
 		}
-		if _, ok := peerURLs[*shardID]; !ok {
-			fmt.Fprintf(os.Stderr, "serve: -shard-id %q is not a member of -peers\n", *shardID)
+		if *shardID == "" {
+			fmt.Fprintln(os.Stderr, "serve: -peers requires -shard-id")
 			os.Exit(1)
 		}
-		names := make([]string, 0, len(peerURLs))
-		for name := range peerURLs {
-			names = append(names, name)
+		selfURL := strings.TrimSuffix(*advertise, "/")
+		if selfURL == "" {
+			selfURL = seeds[*shardID]
 		}
-		srv.setShard(*shardID, shard.New(names, 0), peerURLs)
-		stopProbes := srv.startHealthProbes(resilience.ProbeOptions{Interval: *probeInterval})
-		defer stopProbes()
-		log.Printf("shard %s in a %d-node ring (probing peers every %v)", *shardID, len(names), *probeInterval)
+		if selfURL == "" {
+			selfURL = "http://" + *addr
+		}
+		seedMembers := make([]fleet.Member, 0, len(seeds))
+		for id, url := range seeds {
+			if id == *shardID {
+				url = selfURL
+			}
+			seedMembers = append(seedMembers, fleet.Member{ID: id, URL: url})
+		}
+		err = srv.startFleet(fleetConfig{
+			self:      fleet.Member{ID: *shardID, URL: selfURL},
+			seeds:     seedMembers,
+			probeOpts: resilience.ProbeOptions{Interval: *probeInterval},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		log.Printf("fleet node %s at %s (%d seeds, probing peers every %v)",
+			*shardID, selfURL, len(seedMembers), *probeInterval)
 	}
 	snap, err := srv.snapshot()
 	if err != nil {
@@ -148,7 +179,27 @@ func main() {
 	log.Printf("terrain viewer on http://%s/ (%s, measure=%s, %d super nodes)",
 		*addr, snap.Key.Dataset, snap.Key.Measure, snap.Terrain.Tree.Len())
 	snap.Release()
-	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	go func() {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+		<-sigc
+		log.Printf("serve: draining (deadline %v)", *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		// Order matters: flip readiness and announce departure first
+		// (load balancers and peers stop sending new work), hand owned
+		// snapshots off, then let in-flight requests finish.
+		srv.drain(ctx)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("serve: shutdown: %v", err)
+		}
+	}()
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	log.Printf("serve: drained, exiting")
 }
 
 // parsePeers parses the -peers flag: comma-separated id=url entries.
@@ -204,21 +255,49 @@ type server struct {
 	// the selection: the ring decides each batch-query key's owner, and
 	// non-owned keys are forwarded to peerURLs[owner]. Only the batch
 	// API routes; the viewer endpoints always serve the local
-	// selection.
+	// selection. With dynamic membership (startFleet) the ring and
+	// peerURLs are rebuilt on every adopted view change; with setShard
+	// (tests, static fleets) they are fixed.
 	shardSelf string
 	ring      *shard.Ring
 	peerURLs  map[string]string
+	// fleet is the dynamic-membership runtime (nil when static or
+	// unsharded); assigned once by startFleet before traffic.
+	fleet *fleetRuntime
+
+	// draining flips when a graceful drain begins: /readyz answers 503
+	// so probes and load balancers steer new work away, while /healthz
+	// (liveness) keeps answering 200 until the process exits.
+	draining atomic.Bool
+
+	// peerStore wraps the snapshot store with fleet hydration: local
+	// misses backfill from the key's ring owner before analysis runs.
+	// Always non-nil (with no fleet its Peers hook returns nothing and
+	// it degenerates to the inner store).
+	peerStore *query.PeerStore
 
 	// breakers holds one circuit breaker per peer base URL, shared by
 	// the forwarding path (passive outcomes) and the active health-probe
 	// loops, so either signal can open a peer and either can close it.
 	breakers *resilience.BreakerSet
 	// forwardClient is the HTTP client for forwarded batch queries
-	// (fault-injectable in tests); probeClient is a plain client for
-	// /healthz probes, kept separate so probe traffic never consumes
-	// fault-injection schedule entries meant for forwards.
+	// (fault-injectable in tests); probeClient is a short-timeout
+	// client for health/membership probes, kept separate so probe
+	// traffic never consumes fault-injection schedule entries meant for
+	// forwards; fetchClient performs snapshot hydration fetches and
+	// handoff pushes, separate for the same reason.
 	forwardClient *http.Client
 	probeClient   *http.Client
+	fetchClient   *http.Client
+
+	// epochMismatches counts forwarded requests that arrived stamped
+	// with a view epoch different from ours — the detector for two
+	// nodes routing one key by different rings during a membership
+	// transition.
+	epochMismatches atomic.Int64
+	// onPush and onEpochMismatch are test/metrics hooks (serverConfig).
+	onPush          func(query.Key)
+	onEpochMismatch func(remote, local uint64)
 }
 
 // serverConfig collects newServer's startup parameters (the flags).
@@ -237,9 +316,12 @@ type serverConfig struct {
 	// onAnalyze is a test/metrics hook forwarded to the engine.
 	onAnalyze func(query.Key)
 
-	// forwardTimeout bounds forwarded batch queries and health probes
-	// end-to-end (0 = 15 minutes, matching the -forward-timeout flag).
+	// forwardTimeout bounds forwarded batch queries and snapshot
+	// fetches end-to-end (0 = 15 minutes, matching the -forward-timeout
+	// flag); probeTimeout bounds one health/membership probe (0 = 2s,
+	// matching -probe-timeout).
 	forwardTimeout time.Duration
+	probeTimeout   time.Duration
 	// maxAnalyses/analysisQueue configure admission control (0 max =
 	// unlimited, no shedding).
 	maxAnalyses   int
@@ -253,8 +335,14 @@ type serverConfig struct {
 	store query.SnapshotStore
 	// forwardClient overrides the forwarding HTTP client (tests inject
 	// a faulty transport). The probe client is always built from
-	// forwardTimeout, never overridden, so probes stay deterministic.
+	// probeTimeout, never overridden, so probes stay deterministic.
 	forwardClient *http.Client
+	// onFetch/onPush/onEpochMismatch are test/metrics hooks: a snapshot
+	// hydrated from a peer, a handoff push adopted, and a forwarded
+	// request whose view-epoch stamp disagreed with ours.
+	onFetch         func(key query.Key, peer string)
+	onPush          func(query.Key)
+	onEpochMismatch func(remote, local uint64)
 }
 
 // setShard joins the server to a shard fleet: self's name, the
@@ -317,6 +405,22 @@ func newServer(cfg serverConfig) (*server, error) {
 			return nil, err
 		}
 	}
+	if store == nil {
+		// Explicit rather than the engine's internal default so the
+		// snapshot-exchange endpoint has a store to serve GETs from;
+		// 16 matches the engine's own default bound.
+		store = query.NewMemorySnapshotStore(16)
+	}
+	var gens query.GenerationStore
+	if cfg.storeDir != "" {
+		// Durable invalidation generations live beside the snapshots:
+		// Snapshot.Seq equality — the fleet's analysis identity —
+		// survives restarts.
+		gens, err = query.NewGenerationFile(filepath.Join(cfg.storeDir, "generations"))
+		if err != nil {
+			return nil, err
+		}
+	}
 	forwardTimeout := cfg.forwardTimeout
 	if forwardTimeout <= 0 {
 		// Finite but generous: an owner analyzing a big stand-in can
@@ -324,6 +428,10 @@ func newServer(cfg serverConfig) (*server, error) {
 		// polls up to 10), but a hung owner must eventually trip the
 		// local fallback instead of wedging relays forever.
 		forwardTimeout = 15 * time.Minute
+	}
+	probeTimeout := cfg.probeTimeout
+	if probeTimeout <= 0 {
+		probeTimeout = 2 * time.Second
 	}
 	forwardClient := cfg.forwardClient
 	if forwardClient == nil {
@@ -336,26 +444,42 @@ func newServer(cfg serverConfig) (*server, error) {
 			Threshold: cfg.breakerThreshold,
 			Cooldown:  cfg.breakerCooldown,
 		}),
-		forwardClient: forwardClient,
-		probeClient:   &http.Client{Timeout: forwardTimeout},
-		engine: query.NewEngine(query.Options{
-			Store:                 store,
-			OnAnalyze:             cfg.onAnalyze,
-			MaxConcurrentAnalyses: cfg.maxAnalyses,
-			MaxAnalysisQueue:      cfg.analysisQueue,
-			// Any Table I dataset the viewer asks for later is
-			// generated on demand at the startup scale and seed. A
-			// generation error here can only be an unknown name —
-			// the client's typo, so mark it a ClientError (HTTP 400).
-			Loader: func(name string) (*graph.Graph, error) {
-				g, err := datasets.Generate(name, scale, seed)
-				if err != nil {
-					return nil, &query.ClientError{Err: err}
-				}
-				return g, nil
-			},
-		}),
+		forwardClient:   forwardClient,
+		probeClient:     &http.Client{Timeout: probeTimeout},
+		fetchClient:     &http.Client{Timeout: forwardTimeout},
+		onPush:          cfg.onPush,
+		onEpochMismatch: cfg.onEpochMismatch,
 	}
+	s.peerStore = &query.PeerStore{
+		Inner:    store,
+		Owner:    s.ringOwnerID,
+		Peers:    s.peerFetchCandidates,
+		Client:   s.fetchClient,
+		Breakers: s.breakers,
+		OnFetch:  cfg.onFetch,
+	}
+	s.engine = query.NewEngine(query.Options{
+		Store:                 s.peerStore,
+		Generations:           gens,
+		OnInvalidate:          s.broadcastInvalidation,
+		OnAnalyze:             cfg.onAnalyze,
+		MaxConcurrentAnalyses: cfg.maxAnalyses,
+		MaxAnalysisQueue:      cfg.analysisQueue,
+		// Any Table I dataset the viewer asks for later is
+		// generated on demand at the startup scale and seed. A
+		// generation error here can only be an unknown name —
+		// the client's typo, so mark it a ClientError (HTTP 400).
+		Loader: func(name string) (*graph.Graph, error) {
+			g, err := datasets.Generate(name, scale, seed)
+			if err != nil {
+				return nil, &query.ClientError{Err: err}
+			}
+			return g, nil
+		},
+	})
+	// The fetch-verification hooks close over the engine, which closes
+	// over the store: assign after both exist. Traffic starts later.
+	s.peerStore.Generation = s.engine.DatasetGeneration
 	s.engine.RegisterDataset(name, g)
 	s.current = query.Key{Dataset: name, Bins: cfg.bins}
 	s.want = s.current
@@ -497,6 +621,18 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/spectrum", s.handleSpectrum)
 	mux.HandleFunc("/measure", s.handleMeasure)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/api/v1/fleet/view", s.handleFleetView)
+	mux.HandleFunc("/api/v1/fleet/join", s.handleFleetJoin)
+	mux.HandleFunc("/api/v1/fleet/gossip", s.handleFleetGossip)
+	mux.Handle("/api/v1/invalidate", &query.InvalidationHandler{Engine: s.engine})
+	mux.Handle("/api/v1/snapshot/", &query.SnapshotHandler{
+		Engine: s.engine,
+		// LocalGet, not Get: answering a peer's fetch must never fan
+		// out into fetching.
+		Local:  s.peerStore.LocalGet,
+		OnPush: s.handleSnapshotPush,
+	})
 	mux.Handle("/api/v1/query", &query.Handler{
 		Engine: s.engine, Defaults: s.currentKey, Route: s.route,
 		Client:   s.forwardClient,
@@ -504,15 +640,63 @@ func (s *server) routes() *http.ServeMux {
 		// Serving a marked-stale snapshot beats a 500 when a re-analysis
 		// fails under load or injected faults.
 		AllowStale: true,
+		// Forwarded requests carry the sender's view epoch; a mismatch
+		// means the fleet is mid-transition and two nodes may briefly
+		// route one key differently. Detection (count + hook), not
+		// rejection: the snapshot Seq guard keeps answers correct.
+		ViewEpoch:       s.viewEpoch,
+		OnEpochMismatch: s.noteEpochMismatch,
 	})
 	return mux
 }
 
-// handleHealthz answers active fleet probes (and human curiosity): 200
-// with this node's shard identity and its view of every peer breaker.
-// The handler deliberately touches no engine state — a node drowning in
-// analyses is still "up" for routing purposes; admission control sheds
-// load, the breaker layer handles nodes that stop answering at all.
+// handleSnapshotPush is the OnPush hook of the snapshot-exchange
+// endpoint: a handoff push was verified and adopted.
+func (s *server) handleSnapshotPush(key query.Key) {
+	if s.onPush != nil {
+		s.onPush(key)
+	}
+}
+
+// viewEpoch reports the membership view epoch stamped onto forwarded
+// requests; 0 (matching every static fleet) when membership is static.
+func (s *server) viewEpoch() uint64 {
+	if rt := s.fleetRuntime(); rt != nil {
+		return rt.manager.Epoch()
+	}
+	return 0
+}
+
+// noteEpochMismatch records a forwarded request whose view-epoch stamp
+// disagreed with ours.
+func (s *server) noteEpochMismatch(remote, local uint64) {
+	s.epochMismatches.Add(1)
+	if s.onEpochMismatch != nil {
+		s.onEpochMismatch(remote, local)
+	}
+}
+
+// handleReadyz answers readiness probes: 503 once a drain begins, 200
+// otherwise. Distinct from /healthz (liveness + identity): a draining
+// node is alive — it still answers fleet gossip and snapshot fetches
+// while its keys hand off — but must stop receiving new work.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, struct {
+		Status string `json:"status"`
+	}{Status: "ready"})
+}
+
+// handleHealthz is the liveness endpoint (human curiosity included):
+// 200 with this node's shard identity and its view of every peer
+// breaker, for as long as the process runs — even mid-drain, when
+// /readyz already answers 503. The handler deliberately touches no
+// engine state — a node drowning in analyses is still "up" for routing
+// purposes; admission control sheds load, the breaker layer handles
+// nodes that stop answering at all.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	self := s.shardSelf
@@ -524,13 +708,16 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}{Status: "ok", Shard: self, Peers: s.breakers.States()})
 }
 
-// startHealthProbes launches one active /healthz probe loop per fleet
+// startHealthProbes launches one active probe loop per static fleet
 // peer (excluding self), each reporting into the same per-peer breaker
 // the forwarding path uses: a down peer is discovered within a probe
 // interval even with no traffic, and — more importantly — a recovered
 // peer is rediscovered without burning a live request on the half-open
-// probe. Returns a stop function that halts the loops and waits for
-// them to exit. Call after setShard.
+// probe. Probes target /readyz, not /healthz: a draining peer is alive
+// but must stop receiving forwards, and readiness is exactly that
+// signal. Returns a stop function that halts the loops and waits for
+// them to exit. Call after setShard. (Dynamic fleets instead run
+// membership-gossip probes — see fleetRuntime.reconcileProbes.)
 func (s *server) startHealthProbes(opts resilience.ProbeOptions) (stop func()) {
 	s.mu.RLock()
 	self, peerURLs := s.shardSelf, s.peerURLs
@@ -542,7 +729,7 @@ func (s *server) startHealthProbes(opts resilience.ProbeOptions) (stop func()) {
 			continue
 		}
 		b := s.breakers.For(base)
-		probe := resilience.HTTPProbe(s.probeClient, base+"/healthz")
+		probe := resilience.HTTPProbe(s.probeClient, base+"/readyz")
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func member(id string) Member {
+	return Member{ID: id, URL: "http://" + id + ".example:8080"}
+}
+
+func seedManager(t *testing.T, self string, seeds ...string) *Manager {
+	t.Helper()
+	members := make([]Member, len(seeds))
+	for i, s := range seeds {
+		members[i] = member(s)
+	}
+	m, err := NewManager(Config{Self: member(self), Seeds: members})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestViewCodecRoundTrip(t *testing.T) {
+	views := []View{
+		{},
+		{Epoch: 1, Members: []Member{member("a")}},
+		{Epoch: 42, Members: []Member{
+			member("a"),
+			{ID: "b", URL: "http://b:1", Status: Leaving},
+			member("c"),
+		}},
+	}
+	for _, v := range views {
+		v.normalize()
+		got, err := DecodeView(EncodeView(v))
+		if err != nil {
+			t.Fatalf("decode(%v): %v", v, err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, v)
+		}
+	}
+}
+
+func TestViewCodecRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("SFMV"),
+		[]byte("XXXX\x01"),
+		EncodeView(View{Epoch: 1})[:7],
+	}
+	for _, data := range cases {
+		if _, err := DecodeView(data); err == nil {
+			t.Fatalf("decode(%q) accepted garbage", data)
+		}
+	}
+}
+
+func TestFoundingViewAgrees(t *testing.T) {
+	a := seedManager(t, "a", "a", "b", "c")
+	b := seedManager(t, "b", "a", "b", "c")
+	if a.View().Hash() != b.View().Hash() || a.Epoch() != b.Epoch() {
+		t.Fatalf("founders disagree: a=%v b=%v", a.View(), b.View())
+	}
+	if a.Epoch() != 1 {
+		t.Fatalf("founding epoch = %d, want 1", a.Epoch())
+	}
+}
+
+func TestJoinBumpsAndGossips(t *testing.T) {
+	a := seedManager(t, "a", "a", "b")
+	b := seedManager(t, "b", "a", "b")
+	d, err := NewManager(Config{Self: member("d"), Seeds: []Member{member("a"), member("b")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 0 {
+		t.Fatalf("joiner bootstrap epoch = %d, want 0", d.Epoch())
+	}
+	// d joins through a.
+	resp, err := a.HandleJoin(d.Self())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.Find("d"); !ok {
+		t.Fatalf("join response lacks d: %v", resp)
+	}
+	if !d.Merge(resp) {
+		t.Fatal("joiner did not adopt the join response")
+	}
+	// b learns through gossip.
+	if !b.Merge(a.View()) {
+		t.Fatal("b did not adopt a's newer view")
+	}
+	for _, m := range []*Manager{a, b, d} {
+		if got := m.View().RingMembers(); !reflect.DeepEqual(got, []string{"a", "b", "d"}) {
+			t.Fatalf("%s ring members = %v", m.Self().ID, got)
+		}
+	}
+	// A retried join is idempotent: same epoch, no change.
+	before := a.Epoch()
+	if _, err := a.HandleJoin(d.Self()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Epoch() != before {
+		t.Fatalf("idempotent re-join bumped epoch %d -> %d", before, a.Epoch())
+	}
+}
+
+func TestSuspicionEvictsAfterThreshold(t *testing.T) {
+	var changes []View
+	m, err := NewManager(Config{
+		Self:               member("a"),
+		Seeds:              []Member{member("a"), member("b")},
+		SuspicionThreshold: 3,
+		OnChange:           func(v View) { changes = append(changes, v) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeErr := errors.New("connection refused")
+	m.ObserveProbe("b", probeErr)
+	m.ObserveProbe("b", probeErr)
+	if _, ok := m.View().Find("b"); !ok {
+		t.Fatal("b evicted before the threshold")
+	}
+	// A success resets the count.
+	m.ObserveProbe("b", nil)
+	m.ObserveProbe("b", probeErr)
+	m.ObserveProbe("b", probeErr)
+	m.ObserveProbe("b", probeErr)
+	if _, ok := m.View().Find("b"); ok {
+		t.Fatal("b not evicted after threshold consecutive failures")
+	}
+	if len(changes) != 1 || changes[0].Epoch != 2 {
+		t.Fatalf("OnChange fired %d times (%v), want once at epoch 2", len(changes), changes)
+	}
+}
+
+func TestSelfDefenseAgainstFalseEviction(t *testing.T) {
+	a := seedManager(t, "a", "a", "b")
+	// A foreign view (higher epoch) that dropped a.
+	foreign := View{Epoch: 5, Members: []Member{member("b")}}
+	if !a.Merge(foreign) {
+		t.Fatal("merge ignored a dominating view")
+	}
+	v := a.View()
+	if _, ok := v.Find("a"); !ok {
+		t.Fatalf("a did not re-add itself: %v", v)
+	}
+	if v.Epoch != 6 {
+		t.Fatalf("self-defense epoch = %d, want 6 (foreign 5 + re-add bump)", v.Epoch)
+	}
+}
+
+func TestLeaveExcludesFromRingAndStopsSelfDefense(t *testing.T) {
+	a := seedManager(t, "a", "a", "b")
+	v := a.Leave()
+	if got := v.RingMembers(); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("ring members after leave = %v, want [b]", got)
+	}
+	if m, _ := v.Find("a"); m.Status != Leaving {
+		t.Fatalf("self status after leave = %v, want leaving", m.Status)
+	}
+	// A peer that processed the departure fully (removed a) must not
+	// be contradicted: the drained node stays out.
+	a.Merge(View{Epoch: v.Epoch + 1, Members: []Member{member("b")}})
+	if _, ok := a.View().Find("a"); ok {
+		t.Fatal("a resurrected itself after Leave")
+	}
+}
+
+func TestEqualEpochConflictMergesDeterministically(t *testing.T) {
+	a := seedManager(t, "a", "a", "b")
+	// a admits d; concurrently (same epoch) a conflicting view marks b
+	// leaving.
+	if _, err := a.HandleJoin(member("d")); err != nil {
+		t.Fatal(err)
+	}
+	conflicting := View{Epoch: a.Epoch(), Members: []Member{
+		member("a"), {ID: "b", URL: member("b").URL, Status: Leaving},
+	}}
+	if !a.Merge(conflicting) {
+		t.Fatal("equal-epoch divergent view ignored")
+	}
+	v := a.View()
+	if v.Epoch != 3 {
+		t.Fatalf("conflict merge epoch = %d, want 3", v.Epoch)
+	}
+	if m, _ := v.Find("b"); m.Status != Leaving {
+		t.Fatal("worse status did not win the union merge")
+	}
+	if _, ok := v.Find("d"); !ok {
+		t.Fatal("union merge dropped d")
+	}
+}
+
+func TestStaleViewIgnored(t *testing.T) {
+	a := seedManager(t, "a", "a", "b")
+	a.HandleJoin(member("d"))
+	if a.Merge(View{Epoch: 1, Members: []Member{member("a")}}) {
+		t.Fatal("stale view adopted")
+	}
+	if _, ok := a.View().Find("d"); !ok {
+		t.Fatal("stale merge lost d")
+	}
+}
+
+// TestConcurrentMutationsConverge hammers one manager from many
+// goroutines (joins, probes, merges) under -race and checks the final
+// view is well-formed with a strictly positive epoch.
+func TestConcurrentMutationsConverge(t *testing.T) {
+	m := seedManager(t, "a", "a", "b")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				switch j % 3 {
+				case 0:
+					m.HandleJoin(member(fmt.Sprintf("n%d", i)))
+				case 1:
+					m.ObserveProbe("b", errors.New("x"))
+				case 2:
+					m.Merge(m.View())
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	v := m.View()
+	if v.Epoch == 0 {
+		t.Fatal("epoch never advanced")
+	}
+	if _, ok := v.Find("a"); !ok {
+		t.Fatalf("self lost from view: %v", v)
+	}
+	for i := 1; i < len(v.Members); i++ {
+		if v.Members[i-1].ID >= v.Members[i].ID {
+			t.Fatalf("view not sorted/deduped: %v", v)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzViewCodec pins the codec's hostile-input discipline: DecodeView
+// must never panic, and on any input it accepts, re-encoding the
+// decoded view and decoding again must be a fixed point (the decoded
+// form is canonical). The allocation bound is structural — counts are
+// validated against the bytes present before any slice is made — so a
+// tiny input claiming a huge member count errors instead of
+// allocating.
+func FuzzViewCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SFMV"))
+	f.Add(EncodeView(View{}))
+	f.Add(EncodeView(View{Epoch: 7, Members: []Member{
+		{ID: "a", URL: "http://a:1"},
+		{ID: "b", URL: "http://b:2", Status: Leaving},
+	}}))
+	// A hostile member count with almost no payload behind it.
+	hostile := EncodeView(View{Epoch: 1})
+	hostile[len(hostile)-8] = 0xff
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeView(data)
+		if err != nil {
+			return
+		}
+		re := EncodeView(v)
+		v2, err := DecodeView(re)
+		if err != nil {
+			t.Fatalf("re-decoding canonical encoding failed: %v", err)
+		}
+		if !bytes.Equal(re, EncodeView(v2)) {
+			t.Fatalf("encode/decode is not a fixed point:\n v=%+v\nv2=%+v", v, v2)
+		}
+	})
+}

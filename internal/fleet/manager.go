@@ -1,0 +1,266 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Config configures a Manager.
+type Config struct {
+	// Self identifies this node; it is always part of the local view
+	// (until Leave).
+	Self Member
+	// Seeds is the bootstrap membership: the -peers flag's id=url
+	// entries. When Self is among them the node starts as a founding
+	// member (epoch 1, full seed view); when it is not, the node starts
+	// alone at epoch 0 and must Join through a seed — whoever admits it
+	// bumps the epoch past every founder's.
+	Seeds []Member
+	// SuspicionThreshold is the number of consecutive failed probes of
+	// a member before this node evicts it from its view; <= 0 means 3.
+	// Eviction gossips like any other change, so one detector is
+	// enough, and a false eviction heals: the evicted node re-adds
+	// itself on the next view it merges.
+	SuspicionThreshold int
+	// OnChange, when set, fires after every local view change (join,
+	// leave, eviction, adopted merge) with the new view. It is called
+	// without the manager's lock held, so listeners can call back into
+	// the manager freely. Concurrent mutations may deliver callbacks
+	// out of order; every change strictly increases the epoch, so a
+	// listener that ignores epochs at or below the last one it applied
+	// always converges on the newest view (cmd/serve does exactly
+	// that).
+	OnChange func(View)
+}
+
+// Manager owns one node's authoritative membership view and the
+// suspicion state that drives eviction. All methods are safe for
+// concurrent use. The manager does no I/O: probe loops call
+// ObserveProbe, HTTP endpoints call HandleJoin/Merge, and a drain
+// calls Leave; each returns or gossips the resulting view through the
+// caller.
+type Manager struct {
+	self               Member
+	suspicionThreshold int
+	onChange           func(View)
+
+	mu   sync.Mutex
+	view View
+	// suspect counts consecutive failed probes per member ID; a
+	// success resets it. Reaching the threshold evicts.
+	suspect map[string]int
+	// left is set once Leave has run: the manager stops re-adding self
+	// to merged views, so a draining node cannot resurrect itself.
+	left bool
+}
+
+// NewManager builds a manager with the bootstrap view described by
+// cfg (see Config.Seeds).
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Self.ID == "" {
+		return nil, fmt.Errorf("fleet: Config.Self.ID is required")
+	}
+	threshold := cfg.SuspicionThreshold
+	if threshold <= 0 {
+		threshold = 3
+	}
+	m := &Manager{
+		self:               cfg.Self,
+		suspicionThreshold: threshold,
+		onChange:           cfg.OnChange,
+		suspect:            make(map[string]int),
+	}
+	founding := false
+	for _, s := range cfg.Seeds {
+		if s.ID == cfg.Self.ID {
+			founding = true
+		}
+	}
+	if founding {
+		m.view = View{Epoch: 1, Members: append([]Member(nil), cfg.Seeds...)}
+	} else {
+		// A joiner knows only itself until a seed admits it; epoch 0
+		// loses to any founder's view, so the join response replaces
+		// this placeholder wholesale.
+		m.view = View{Epoch: 0, Members: []Member{cfg.Self}}
+	}
+	m.view.normalize()
+	return m, nil
+}
+
+// Self returns this node's member record.
+func (m *Manager) Self() Member { return m.self }
+
+// View returns a copy of the current membership view.
+func (m *Manager) View() View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view.Clone()
+}
+
+// Epoch returns the current view epoch.
+func (m *Manager) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view.Epoch
+}
+
+// Peers returns every member other than self, in ID order.
+func (m *Manager) Peers() []Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Member, 0, len(m.view.Members))
+	for _, mem := range m.view.Members {
+		if mem.ID != m.self.ID {
+			out = append(out, mem)
+		}
+	}
+	return out
+}
+
+// notify fires OnChange outside m.mu (see Config.OnChange for the
+// ordering contract).
+func (m *Manager) notify(v View) {
+	if m.onChange != nil {
+		m.onChange(v)
+	}
+}
+
+// HandleJoin admits (or refreshes) a member and returns the resulting
+// view — the join endpoint's response body. Re-joining an existing ID
+// with the same URL and status is idempotent: no epoch bump, no
+// gossip storm from a joiner retrying against several seeds.
+func (m *Manager) HandleJoin(j Member) (View, error) {
+	if j.ID == "" {
+		return View{}, fmt.Errorf("fleet: join with empty member ID")
+	}
+	m.mu.Lock()
+	if cur, ok := m.view.Find(j.ID); ok && cur.URL == j.URL && cur.Status == j.Status {
+		v := m.view.Clone()
+		m.mu.Unlock()
+		return v, nil
+	}
+	next := m.view.Clone()
+	replaced := false
+	for i := range next.Members {
+		if next.Members[i].ID == j.ID {
+			next.Members[i] = j
+			replaced = true
+		}
+	}
+	if !replaced {
+		next.Members = append(next.Members, j)
+		next.normalize()
+	}
+	next.Epoch++
+	m.view = next
+	delete(m.suspect, j.ID)
+	v := next.Clone()
+	m.mu.Unlock()
+	m.notify(v)
+	return v, nil
+}
+
+// Leave marks self Leaving and returns the view to announce: the
+// drain entry point. Subsequent merges will not re-add self.
+func (m *Manager) Leave() View {
+	m.mu.Lock()
+	m.left = true
+	next := m.view.Clone()
+	for i := range next.Members {
+		if next.Members[i].ID == m.self.ID {
+			next.Members[i].Status = Leaving
+		}
+	}
+	next.Epoch++
+	m.view = next
+	v := next.Clone()
+	m.mu.Unlock()
+	m.notify(v)
+	return v
+}
+
+// Merge adopts a foreign view when it dominates the local one (higher
+// epoch), resolves equal-epoch divergence with the deterministic
+// union merge, and ignores stale views. A foreign view that erased a
+// live self re-adds it with a fresh epoch — the self-defense that
+// heals false evictions. Returns whether the local view changed.
+func (m *Manager) Merge(foreign View) bool {
+	foreign = foreign.Clone()
+	foreign.normalize()
+	m.mu.Lock()
+	var next View
+	switch {
+	case foreign.Epoch < m.view.Epoch:
+		m.mu.Unlock()
+		return false
+	case foreign.Epoch == m.view.Epoch:
+		if foreign.Hash() == m.view.Hash() {
+			m.mu.Unlock()
+			return false
+		}
+		next = mergeUnion(m.view, foreign)
+	default:
+		next = foreign
+	}
+	if _, ok := next.Find(m.self.ID); !ok && !m.left {
+		// Evicted by someone else while demonstrably alive (we are
+		// running this code): re-assert membership. The bump makes the
+		// corrected view dominate the one that dropped us.
+		next.Members = append(next.Members, m.self)
+		next.normalize()
+		next.Epoch++
+	}
+	m.view = next
+	// Membership just changed under us; stale suspicion counts must
+	// not carry over to a member that re-joined.
+	for id := range m.suspect {
+		if _, ok := next.Find(id); !ok {
+			delete(m.suspect, id)
+		}
+	}
+	v := next.Clone()
+	m.mu.Unlock()
+	m.notify(v)
+	return true
+}
+
+// ObserveProbe feeds one probe outcome for a member into the
+// suspicion counter: success clears it, and the SuspicionThreshold'th
+// consecutive failure evicts the member from the local view (epoch
+// bump; gossip spreads it). Probing self is a no-op.
+func (m *Manager) ObserveProbe(id string, err error) {
+	if id == m.self.ID {
+		return
+	}
+	m.mu.Lock()
+	if _, ok := m.view.Find(id); !ok {
+		delete(m.suspect, id)
+		m.mu.Unlock()
+		return
+	}
+	if err == nil {
+		delete(m.suspect, id)
+		m.mu.Unlock()
+		return
+	}
+	m.suspect[id]++
+	if m.suspect[id] < m.suspicionThreshold {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.suspect, id)
+	next := m.view.Clone()
+	kept := next.Members[:0]
+	for _, mem := range next.Members {
+		if mem.ID != id {
+			kept = append(kept, mem)
+		}
+	}
+	next.Members = kept
+	next.Epoch++
+	m.view = next
+	v := next.Clone()
+	m.mu.Unlock()
+	m.notify(v)
+}

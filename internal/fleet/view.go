@@ -1,0 +1,172 @@
+// Package fleet is the dynamic-membership layer of the shard fleet:
+// a versioned view of who is in the ring, gossiped between nodes on
+// their existing health-probe loops, plus the state machine that
+// admits joiners, detects dead members through consecutive probe
+// failures, and lets a draining node announce its own departure.
+//
+// The design goal is the ROADMAP's elastic-membership item: the
+// consistent-hash ring (internal/shard) stays a pure function of the
+// member list, so membership only has to solve one problem — getting
+// every live node to agree on that list. Agreement here is
+// epoch-based last-writer-wins: every membership change bumps the
+// view's Epoch, views with higher epochs replace lower ones wherever
+// they travel, and the rare equal-epoch conflict (two nodes mutating
+// membership concurrently) resolves with a deterministic union merge
+// that bumps past both. A node that finds itself erased by a foreign
+// view (a false eviction during a partition) re-adds itself with a
+// fresh epoch — membership self-heals in both directions.
+//
+// Nothing in this package does I/O: the Manager is a pure state
+// machine fed by whoever runs the probe loops and HTTP endpoints
+// (cmd/serve), and the codec (codec.go) moves views between nodes.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Status is a member's lifecycle position within a view.
+type Status uint8
+
+const (
+	// Alive: the member serves traffic and owns ring arcs.
+	Alive Status = iota
+	// Leaving: the member announced a graceful drain. It still answers
+	// requests it already owns, but it is excluded from new rings so
+	// its keys hand off before it exits. A Leaving member that is
+	// later probed dead is removed like any other.
+	Leaving
+)
+
+func (s Status) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Leaving:
+		return "leaving"
+	}
+	return "unknown"
+}
+
+// Member is one fleet node: its ring name and its advertised base URL.
+type Member struct {
+	ID     string
+	URL    string
+	Status Status
+}
+
+// View is a versioned membership snapshot. Members are kept sorted by
+// ID so equal views encode to equal bytes (Hash and the codec depend
+// on it). Views are values: methods that change membership return new
+// views, and the Manager owns the one authoritative copy per process.
+type View struct {
+	// Epoch orders views: higher epochs replace lower ones wherever
+	// they travel. Every membership mutation bumps it.
+	Epoch   uint64
+	Members []Member
+}
+
+// normalize sorts members by ID and drops duplicates (first wins).
+func (v *View) normalize() {
+	sort.Slice(v.Members, func(i, j int) bool { return v.Members[i].ID < v.Members[j].ID })
+	out := v.Members[:0]
+	for _, m := range v.Members {
+		if len(out) > 0 && out[len(out)-1].ID == m.ID {
+			continue
+		}
+		out = append(out, m)
+	}
+	v.Members = out
+}
+
+// Clone returns a deep copy.
+func (v View) Clone() View {
+	out := View{Epoch: v.Epoch, Members: make([]Member, len(v.Members))}
+	copy(out.Members, v.Members)
+	return out
+}
+
+// Find returns the member with the given ID.
+func (v View) Find(id string) (Member, bool) {
+	for _, m := range v.Members {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+// RingMembers returns the IDs that should own ring arcs: every member
+// that is Alive. Leaving members are excluded, which is what makes a
+// drain move keys away before the drainer exits.
+func (v View) RingMembers() []string {
+	ids := make([]string, 0, len(v.Members))
+	for _, m := range v.Members {
+		if m.Status == Alive {
+			ids = append(ids, m.ID)
+		}
+	}
+	return ids
+}
+
+// URLs returns every member's base URL by ID (Leaving included — a
+// drainer still answers snapshot fetches while its keys move).
+func (v View) URLs() map[string]string {
+	out := make(map[string]string, len(v.Members))
+	for _, m := range v.Members {
+		out[m.ID] = m.URL
+	}
+	return out
+}
+
+// Hash is a deterministic digest of the view's content (epoch
+// excluded): two views with equal hashes describe the same
+// membership. Used to detect equal-epoch divergence.
+func (v View) Hash() uint64 {
+	h := fnv.New64a()
+	for _, m := range v.Members {
+		fmt.Fprintf(h, "%s\x00%s\x00%d\x00", m.ID, m.URL, m.Status)
+	}
+	return h.Sum64()
+}
+
+func (v View) String() string {
+	parts := make([]string, len(v.Members))
+	for i, m := range v.Members {
+		parts[i] = m.ID
+		if m.Status != Alive {
+			parts[i] += "(" + m.Status.String() + ")"
+		}
+	}
+	return fmt.Sprintf("epoch %d [%s]", v.Epoch, strings.Join(parts, " "))
+}
+
+// mergeUnion resolves an equal-epoch conflict deterministically: the
+// union of both member sets, with the "further along" status winning
+// for members present in both (Leaving beats Alive — a drain
+// announcement must not be undone by a concurrent join's view), and
+// an epoch one past the conflict so the merged view dominates both
+// inputs. A member one side evicted and the other still lists is
+// resurrected by the union; that is deliberate — eviction is re-run
+// by live probing, while a wrongly-dropped live member would
+// otherwise need its own self-defense round trip.
+func mergeUnion(a, b View) View {
+	byID := make(map[string]Member, len(a.Members)+len(b.Members))
+	for _, m := range a.Members {
+		byID[m.ID] = m
+	}
+	for _, m := range b.Members {
+		if prev, ok := byID[m.ID]; !ok || m.Status > prev.Status {
+			byID[m.ID] = m
+		}
+	}
+	out := View{Epoch: a.Epoch + 1, Members: make([]Member, 0, len(byID))}
+	for _, m := range byID {
+		out.Members = append(out.Members, m)
+	}
+	out.normalize()
+	return out
+}

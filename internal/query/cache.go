@@ -143,6 +143,16 @@ func (s *memStore[K, V]) Len() int {
 	return s.cache.len()
 }
 
+func (s *memStore[K, V]) Keys() []K {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]K, 0, len(s.cache.items))
+	for key := range s.cache.items {
+		out = append(out, key)
+	}
+	return out
+}
+
 // group is singleflight coalescing above a kvStore: Do returns the
 // cached value for key, or joins the in-flight computation for it, or
 // — when neither exists — runs compute itself. N concurrent Do calls

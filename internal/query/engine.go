@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -60,14 +61,36 @@ type Options struct {
 	// only with MaxConcurrentAnalyses > 0. 0 means no queue: every
 	// flight beyond the concurrency bound is shed.
 	MaxAnalysisQueue int
+	// Generations, when set, makes per-dataset invalidation generations
+	// durable: NewEngine seeds the in-memory table from it, and every
+	// bump (Invalidate, AdoptGeneration) persists through it. With a
+	// GenerationFile under the snapshot directory, Snapshot.Seq
+	// equality survives restarts — a restarted node serves its
+	// disk-cached snapshots without re-analyzing, and fleet peers that
+	// share the invalidation history keep agreeing on Seq.
+	Generations GenerationStore
+	// OnInvalidate, when set, fires after a local Invalidate finishes
+	// (generation bumped, persisted, caches evicted) with the dataset
+	// and its new generation. cmd/serve uses it to broadcast the
+	// invalidation fleet-wide. It does NOT fire for AdoptGeneration —
+	// adopted bumps are already someone else's broadcast, and
+	// re-announcing them would storm.
+	OnInvalidate func(dataset string, gen uint64)
 }
 
 // Engine produces and caches Snapshots. All methods are safe for
 // concurrent use; the exactly-once guarantee for concurrent cache
 // misses is the singleflight group's.
 type Engine struct {
-	loader    func(name string) (*graph.Graph, error)
-	onAnalyze func(Key)
+	loader       func(name string) (*graph.Graph, error)
+	onAnalyze    func(Key)
+	onInvalidate func(dataset string, gen uint64)
+	// genStore persists generation bumps (nil: process-local only).
+	genStore GenerationStore
+	// store is the guarded snapshot store the singleflight group sits
+	// on; AdoptSnapshot inserts through it so peer-pushed snapshots get
+	// the same generation guard as locally analyzed ones.
+	store *genGuardedStore
 
 	// analyzerMu serializes the one pooled Analyzer. Coalescing keeps
 	// contention low: per (dataset, measure, color, bins) key at most
@@ -149,20 +172,32 @@ func NewEngine(opts Options) *Engine {
 		store = NewMemorySnapshotStore(maxSnaps)
 	}
 	e := &Engine{
-		loader:     opts.Loader,
-		onAnalyze:  opts.OnAnalyze,
-		analyzer:   scalarfield.NewAnalyzer(),
-		registered: make(map[string]*graph.Graph),
-		loaded:     make(map[string]bool),
-		gens:       make(map[string]uint64),
-		fields:     newGroup[fieldKey, fieldEntry](maxFields),
-		graphs:     newGroup[string, *graph.Graph](maxGraphs),
-		stale:      newMemStore[Key, *Snapshot](maxSnaps),
+		loader:       opts.Loader,
+		onAnalyze:    opts.OnAnalyze,
+		onInvalidate: opts.OnInvalidate,
+		genStore:     opts.Generations,
+		analyzer:     scalarfield.NewAnalyzer(),
+		registered:   make(map[string]*graph.Graph),
+		loaded:       make(map[string]bool),
+		gens:         make(map[string]uint64),
+		fields:       newGroup[fieldKey, fieldEntry](maxFields),
+		graphs:       newGroup[string, *graph.Graph](maxGraphs),
+		stale:        newMemStore[Key, *Snapshot](maxSnaps),
+	}
+	if e.genStore != nil {
+		if gens, err := e.genStore.Load(); err != nil {
+			log.Printf("query: loading persisted generations: %v (starting at zero)", err)
+		} else {
+			for dataset, gen := range gens {
+				e.gens[dataset] = gen
+			}
+		}
 	}
 	if opts.MaxConcurrentAnalyses > 0 {
 		e.gate = resilience.NewGate(opts.MaxConcurrentAnalyses, opts.MaxAnalysisQueue)
 	}
-	e.snaps = newGroupOver[Key, *Snapshot](&genGuardedStore{e: e, store: store})
+	e.store = &genGuardedStore{e: e, store: store}
+	e.snaps = newGroupOver[Key, *Snapshot](e.store)
 	return e
 }
 
@@ -178,10 +213,31 @@ type genGuardedStore struct {
 	store SnapshotStore
 }
 
-func (g *genGuardedStore) Get(key Key) (*Snapshot, bool) { return g.store.Get(key) }
-func (g *genGuardedStore) Evict(pred func(Key) bool)     { g.store.Evict(pred) }
-func (g *genGuardedStore) Contains(key Key) bool         { return g.store.Contains(key) }
-func (g *genGuardedStore) Len() int                      { return g.store.Len() }
+// Get probes the store and verifies the hit's analysis identity
+// against the dataset's current generation. The Seq check closes the
+// restart crash window durable generations open: Invalidate persists
+// the bumped generation before evicting, so a crash between the two
+// can leave a pre-bump snapshot on disk next to a post-bump generation
+// file. A restarted process would load both; the mismatch here evicts
+// the stale entry and reports a miss instead of serving pre-
+// invalidation data under a fresh generation.
+func (g *genGuardedStore) Get(key Key) (*Snapshot, bool) {
+	s, ok := g.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	if s.Seq != snapshotSeq(key, g.e.generation(key.Dataset)) {
+		s.Release()
+		g.store.Evict(func(k Key) bool { return k == key })
+		return nil, false
+	}
+	return s, true
+}
+
+func (g *genGuardedStore) Evict(pred func(Key) bool) { g.store.Evict(pred) }
+func (g *genGuardedStore) Contains(key Key) bool     { return g.store.Contains(key) }
+func (g *genGuardedStore) Len() int                  { return g.store.Len() }
+func (g *genGuardedStore) Keys() []Key               { return g.store.Keys() }
 
 func (g *genGuardedStore) Add(key Key, s *Snapshot) {
 	// The store insert itself (possibly a disk encode) runs OUTSIDE
@@ -354,10 +410,87 @@ func (e *Engine) AnalysisCount() int64 { return e.analyses.Load() }
 func (e *Engine) Invalidate(dataset string) {
 	e.genMu.Lock()
 	e.gens[dataset]++
+	gen := e.gens[dataset]
 	e.genMu.Unlock()
+	// Persist before evicting: if the process dies between the two, a
+	// restart loads the new generation and the Seq check in
+	// genGuardedStore.Get treats the un-evicted stale snapshots as
+	// misses. The reverse order would resurrect pre-invalidation data.
+	// The persist runs outside genMu (GenerationStore.Save is
+	// internally monotonic), so a slow disk never blocks the generation
+	// reads at analysis start.
+	if e.genStore != nil {
+		if err := e.genStore.Save(dataset, gen); err != nil {
+			log.Printf("query: %v", err)
+		}
+	}
 	e.snaps.evict(func(k Key) bool { return k.Dataset == dataset })
 	e.fields.evict(func(k fieldKey) bool { return k.dataset == dataset })
 	e.graphs.evict(func(name string) bool { return name == dataset })
+	if e.onInvalidate != nil {
+		e.onInvalidate(dataset, gen)
+	}
+}
+
+// AdoptGeneration applies an invalidation learned from a peer: raise
+// the dataset's generation to gen (never lower it — stale broadcasts
+// and redeliveries are no-ops), persist, and evict like a local
+// Invalidate. Unlike Invalidate it carries the peer's absolute
+// generation rather than bumping, so every node that has adopted the
+// same broadcast derives the same Snapshot.Seq — which is what keeps
+// peer snapshot fetches verifiable fleet-wide. Returns whether the
+// generation changed. OnInvalidate does not fire: adopted bumps are
+// already someone's broadcast.
+func (e *Engine) AdoptGeneration(dataset string, gen uint64) bool {
+	e.genMu.Lock()
+	if gen <= e.gens[dataset] {
+		e.genMu.Unlock()
+		return false
+	}
+	e.gens[dataset] = gen
+	e.genMu.Unlock()
+	if e.genStore != nil {
+		if err := e.genStore.Save(dataset, gen); err != nil {
+			log.Printf("query: %v", err)
+		}
+	}
+	e.snaps.evict(func(k Key) bool { return k.Dataset == dataset })
+	e.fields.evict(func(k fieldKey) bool { return k.dataset == dataset })
+	e.graphs.evict(func(name string) bool { return name == dataset })
+	return true
+}
+
+// DatasetGeneration reports the dataset's current invalidation
+// generation — the number a fleet broadcast carries and a peer fetch
+// verifies against.
+func (e *Engine) DatasetGeneration(dataset string) uint64 {
+	return e.generation(dataset)
+}
+
+// ExpectedSeq reports the analysis identity a snapshot of key must
+// carry to be current: snapshotSeq over the key and the dataset's
+// generation. Peer snapshot exchange verifies received snapshots
+// against it before adopting them.
+func (e *Engine) ExpectedSeq(key Key) uint64 {
+	return snapshotSeq(key, e.generation(key.Dataset))
+}
+
+// AdoptSnapshot inserts a snapshot this process did not analyze — one
+// pushed by a peer handing off ownership — through the same
+// generation guard as local analyses. The snapshot must carry the Seq
+// the key's current generation demands; a mismatch (the push raced an
+// invalidation, or the sender's history diverged) is rejected, since
+// adopting it would serve another generation's data under this one's
+// identity.
+func (e *Engine) AdoptSnapshot(snap *Snapshot) error {
+	gen := e.generation(snap.Key.Dataset)
+	if want := snapshotSeq(snap.Key, gen); snap.Seq != want {
+		return fmt.Errorf("query: adopting snapshot for %v: seq %d does not match generation %d (want %d)",
+			snap.Key, snap.Seq, gen, want)
+	}
+	snap.gen = gen
+	e.store.Add(snap.Key, snap)
+	return nil
 }
 
 // WatchStream wires a streaming monitor to the engine's invalidation:

@@ -115,10 +115,28 @@ type Handler struct {
 	// "stale" instead of erroring. Client mistakes (400s) never serve
 	// stale.
 	AllowStale bool
+	// ViewEpoch, when set, reports this node's membership-view epoch.
+	// Forwarded requests are stamped with the sender's epoch
+	// (ViewEpochHeader) and checked on receipt: a mismatch means the
+	// two nodes routed under different rings — the moment two nodes
+	// could disagree about a key's owner. The request is still served
+	// locally (ForwardedHeader already guarantees at most one hop, so
+	// disagreement degrades to an extra analysis, never a loop or a
+	// wrong answer), but the divergence is surfaced through
+	// OnEpochMismatch instead of passing silently.
+	ViewEpoch func() uint64
+	// OnEpochMismatch, when set, fires once per forwarded request that
+	// arrives under a different view epoch than the receiver's, with
+	// both epochs (metrics and test hook).
+	OnEpochMismatch func(remote, local uint64)
 }
 
 // ForwardedHeader marks a request that already crossed one shard hop.
 const ForwardedHeader = "X-Scalarfield-Forwarded"
+
+// ViewEpochHeader carries the forwarding node's membership-view epoch
+// so the receiver can detect ring disagreement (see Handler.ViewEpoch).
+const ViewEpochHeader = "X-Scalarfield-View-Epoch"
 
 // ServeHTTP answers one batch: resolve the snapshot key, get-or-build
 // the snapshot (coalesced with every concurrent request for the same
@@ -171,6 +189,19 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Bins != nil {
 		key.Bins = *req.Bins
+	}
+
+	if h.ViewEpoch != nil && r.Header.Get(ForwardedHeader) != "" {
+		if remoteStr := r.Header.Get(ViewEpochHeader); remoteStr != "" {
+			if remote, perr := strconv.ParseUint(remoteStr, 10, 64); perr == nil {
+				if local := h.ViewEpoch(); remote != local {
+					log.Printf("query: forwarded request for %v crossed view epochs (sender %d, local %d); serving locally", key, remote, local)
+					if h.OnEpochMismatch != nil {
+						h.OnEpochMismatch(remote, local)
+					}
+				}
+			}
+		}
 	}
 
 	if h.Route != nil && r.Header.Get(ForwardedHeader) == "" {
@@ -324,6 +355,9 @@ func (h *Handler) tryForward(ctx context.Context, peer string, body []byte) (sta
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardedHeader, "1")
+	if h.ViewEpoch != nil {
+		req.Header.Set(ViewEpochHeader, strconv.FormatUint(h.ViewEpoch(), 10))
+	}
 	client := h.Client
 	if client == nil {
 		client = http.DefaultClient

@@ -1,0 +1,53 @@
+package query
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRemoteSnapshotDecode pins the snapshot-fetch trust story: the
+// bytes a peer returns are hostile until proven otherwise, and
+// decodeRemoteSnapshot — the single gate every fetched or pushed
+// snapshot passes — must never panic and never accept a snapshot
+// whose identity or generation diverges from what was asked for.
+// Allocation discipline is inherited from the snapshot wire codec
+// (counts validated against bytes present before any slice is made),
+// so a tiny hostile input claiming huge sections errors instead of
+// ballooning memory.
+func FuzzRemoteSnapshotDecode(f *testing.F) {
+	key := Key{Dataset: "tiny", Measure: "kcore", Color: "degree"}
+	e := NewEngine(Options{})
+	e.RegisterDataset("tiny", testGraph())
+	snap, err := e.Snapshot(key)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := EncodeSnapshot(&valid, snap); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("SFSN"))
+	truncated := valid.Bytes()[:valid.Len()/2]
+	f.Add(truncated)
+	// Scribble over the middle of a valid container.
+	scribbled := append([]byte(nil), valid.Bytes()...)
+	for i := len(scribbled) / 2; i < len(scribbled)/2+32 && i < len(scribbled); i++ {
+		scribbled[i] ^= 0xa5
+	}
+	f.Add(scribbled)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := decodeRemoteSnapshot(data, key, 0)
+		if err != nil {
+			return
+		}
+		if got.Key != key {
+			t.Fatalf("accepted snapshot with key %v, want %v", got.Key, key)
+		}
+		if got.Seq != snap.Seq {
+			t.Fatalf("accepted snapshot with seq %d, want %d", got.Seq, snap.Seq)
+		}
+	})
+}

@@ -75,14 +75,14 @@ type Snapshot struct {
 	// change gets a new Seq while a plain LRU-eviction re-analysis
 	// (same inputs, same products) keeps its old one.
 	//
-	// The generation counter itself is process-local and not
-	// persisted: a restart resets it to zero, so Seq equality is only
-	// meaningful within one invalidation lineage. After a restart that
-	// followed Invalidates, a later bump can reuse a pre-restart
-	// generation number and hence a pre-restart Seq for different
-	// data; clients correlating across restart+invalidation boundaries
-	// need an out-of-band epoch. Persisting generations is part of the
-	// shared-cache-tier follow-up (ROADMAP).
+	// The generation counter is durable when the engine is given a
+	// GenerationStore (cmd/serve wires a GenerationFile under
+	// -store-dir): every bump persists atomically before caches evict,
+	// so a restarted process re-derives the same Seq for every key and
+	// serves its disk-cached snapshots without re-analyzing. Without a
+	// GenerationStore the counter is process-local and a restart
+	// resets it to zero — Seq equality is then only meaningful within
+	// one process lifetime's invalidation lineage.
 	Seq uint64
 	// gen is the dataset invalidation generation this snapshot was
 	// analyzed under; the engine's insert guard compares it against the

@@ -29,6 +29,10 @@ type SnapshotStore interface {
 	Evict(pred func(Key) bool)
 	Contains(key Key) bool
 	Len() int
+	// Keys enumerates every cached key, in no particular order. The
+	// fleet's ownership handoff walks it to find entries whose ring
+	// owner changed.
+	Keys() []Key
 }
 
 // NewMemorySnapshotStore returns the default in-process store: a
@@ -376,6 +380,23 @@ func (s *DiskStore) Contains(key Key) bool {
 	}
 	_, ok := s.open.items[key]
 	return ok
+}
+
+// Keys enumerates every distinct cached key — indexed on disk or
+// resident in the open LRU.
+func (s *DiskStore) Keys() []Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Key, 0, len(s.index))
+	for key := range s.index {
+		out = append(out, key)
+	}
+	for key := range s.open.items {
+		if _, onDisk := s.index[key]; !onDisk {
+			out = append(out, key)
+		}
+	}
+	return out
 }
 
 // Len reports the number of distinct cached keys.

@@ -165,6 +165,7 @@ type KV[K comparable, V any] interface {
 	Evict(pred func(K) bool)
 	Contains(key K) bool
 	Len() int
+	Keys() []K
 }
 
 // FaultKV wraps a KV store with injected faults on the read and write
@@ -239,3 +240,8 @@ func (s *FaultKV[K, V]) Contains(key K) bool { return s.Inner.Contains(key) }
 
 // Len passes through to the inner store.
 func (s *FaultKV[K, V]) Len() int { return s.Inner.Len() }
+
+// Keys passes through to the inner store: enumeration (used for key
+// handoff when shard ownership moves) is bookkeeping, not a faultable
+// data path.
+func (s *FaultKV[K, V]) Keys() []K { return s.Inner.Keys() }

@@ -104,6 +104,16 @@ func (s *memKV) Len() int {
 	return len(s.m)
 }
 
+func (s *memKV) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	return out
+}
+
 func TestFaultKVReadAndWriteFaults(t *testing.T) {
 	inj := NewInjector(99)
 	// Always-error reads: every Get is a miss even though the inner
